@@ -1,0 +1,28 @@
+# Convenience targets for the vRead reproduction.
+
+.PHONY: install test bench report paper-report quick-report demo clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro.experiments.run_all --ablations
+
+paper-report:
+	python -m repro.experiments.run_all --paper
+
+quick-report:
+	python -m repro.experiments.run_all --quick
+
+demo:
+	python -m repro demo
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,21 @@
+"""Ablation bench: host page-cache size vs vRead re-read performance.
+
+Shape checks: with the cache bounded below the working set, re-reads decay
+to cold-read speed; at or above the working set they fly.
+"""
+
+from repro.experiments import ablation_cache_size
+
+FILE_BYTES = 32 << 20
+
+
+def test_ablation_cache_size(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: ablation_cache_size.run(file_bytes=FILE_BYTES),
+        rounds=1, iterations=1)
+    report(result.render())
+    small = result.cells[4 << 20]           # cache << working set
+    large = result.cells[64 << 20]          # cache >= working set
+    unbounded = result.cells[float("inf")]
+    assert large > small * 2, "the cache cliff must be visible"
+    assert unbounded == large               # beyond the working set: no gain

@@ -1,0 +1,24 @@
+"""Ablation bench: HDFS streaming packet size on the vanilla path.
+
+Shape checks: throughput peaks at a mid-sized packet — small packets drown
+in per-packet processing, giant packets serialize the pipeline stages —
+while vRead (the reference line) does not depend on this tuning at all.
+"""
+
+from repro.experiments import ablation_packet_size
+
+FILE_BYTES = 32 << 20
+
+
+def test_ablation_packet_size(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: ablation_packet_size.run(file_bytes=FILE_BYTES),
+        rounds=1, iterations=1)
+    report(result.render())
+    tiny = result.vanilla[16 * 1024]
+    mid = result.vanilla[256 * 1024]
+    huge = result.vanilla[4 << 20]
+    assert mid > tiny * 1.5, "per-packet overheads must crush tiny packets"
+    assert mid >= huge, "giant packets must not beat the pipelined optimum"
+    # vRead outperforms vanilla at its best packet size.
+    assert result.vread_reference > max(result.vanilla.values())

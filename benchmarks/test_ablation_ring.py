@@ -1,0 +1,26 @@
+"""Ablation bench: vRead ring geometry / response chunking.
+
+Shape checks: mid-sized chunks beat both extremes — tiny chunks pay
+per-doorbell costs, a chunk spanning the whole ring kills daemon/guest
+pipelining.
+"""
+
+from repro.experiments import ablation_ring
+
+FILE_BYTES = 32 << 20
+
+
+def test_ablation_ring(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: ablation_ring.run(file_bytes=FILE_BYTES),
+        rounds=1, iterations=1)
+    (slots, chunk), best_mbps = result.best()
+    report(result.render()
+           + f"\n  best: {slots} slots x {chunk >> 10}KB = {best_mbps:.0f} MB/s")
+    # 64KB chunks lose to 256KB chunks (per-doorbell overheads).
+    assert result.cells[(1024, 256 * 1024)] > result.cells[(1024, 64 * 1024)]
+    # A chunk as large as the whole ring serializes daemon and guest:
+    # with 1024 x 4KiB slots, a 4MB chunk fills the ring completely.
+    assert result.cells[(1024, 4 << 20)] < result.cells[(1024, 256 * 1024)]
+    # Everything still functions (no zero cells).
+    assert all(mbps > 0 for mbps in result.cells.values())

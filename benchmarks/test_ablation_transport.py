@@ -1,0 +1,23 @@
+"""Ablation bench: RDMA vs TCP remote-read transports (paper footnote 2).
+
+Shape checks: RDMA gives at least equal throughput at a fraction of the
+daemon CPU; the TCP fallback works but overpays in cycles.
+"""
+
+from repro.experiments import ablation_transport
+
+FILE_BYTES = 32 << 20
+
+
+def test_ablation_transport(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: ablation_transport.run(file_bytes=FILE_BYTES),
+        rounds=1, iterations=1)
+    report(result.render()
+           + f"\n  TCP/RDMA daemon CPU ratio: {result.cpu_ratio:.1f}x")
+    rdma_cold, rdma_warm, rdma_cpu = result.transports["rdma"]
+    tcp_cold, tcp_warm, tcp_cpu = result.transports["tcp"]
+    assert rdma_cold >= tcp_cold
+    assert rdma_warm >= tcp_warm
+    # "it consumes more CPU cycles for remote reads" — footnote 2.
+    assert result.cpu_ratio > 1.5

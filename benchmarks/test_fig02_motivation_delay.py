@@ -1,0 +1,31 @@
+"""Figure 2 bench: HDFS-in-VM read delay vs local read delay.
+
+Shape checks: inter-VM reads are slower than local reads at every request
+size, and warm re-reads widen the gap (the extra copies remain when the
+disk time is gone).
+"""
+
+from repro.experiments import fig02_motivation_delay as fig02
+
+FILE_BYTES = 8 << 20
+
+
+def test_fig02_motivation_delay(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig02.run(file_bytes=FILE_BYTES), rounds=1, iterations=1)
+    report(result.render())
+    for figure in (result.no_cache, result.cache):
+        for i, _ in enumerate(figure.x_values):
+            inter_vm = figure.series["inter-VM"][i]
+            local = figure.series["local"][i]
+            assert inter_vm > local, (
+                f"{figure.figure} {figure.x_values[i]}: inter-VM read must "
+                f"be slower than local ({inter_vm:.3f} vs {local:.3f} ms)")
+    # Delay grows with request size within each series.
+    assert result.no_cache.series["inter-VM"] == sorted(
+        result.no_cache.series["inter-VM"])
+    # Cached inter-VM reads are still far slower than cached local reads
+    # (>= 3x: the copies dominate once the disk is out of the picture).
+    ratio = (result.cache.series["inter-VM"][1]
+             / result.cache.series["local"][1])
+    assert ratio > 3.0

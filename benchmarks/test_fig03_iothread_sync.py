@@ -1,0 +1,26 @@
+"""Figure 3 bench: netperf TCP_RR rate under I/O-thread contention.
+
+Shape checks: the 4-VM (2 x lookbusy-85%) rate is below the 2-VM rate at
+every request size, with a drop in the paper's ballpark (~20%), and rates
+decrease with request size.
+"""
+
+from repro.experiments import fig03_iothread_sync as fig03
+
+
+def test_fig03_iothread_sync(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig03.run(duration=0.25), rounds=1, iterations=1)
+    report(result.render())
+    drops = []
+    for i, size in enumerate(result.x_values):
+        two = result.series["2vms"][i]
+        four = result.series["4vms"][i]
+        assert four < two, f"{size}: no contention drop ({four} >= {two})"
+        drops.append((two - four) / two * 100.0)
+    # Paper reports ~20%; accept a 5%..50% band for the shape.
+    assert max(drops) > 5.0
+    assert max(drops) < 50.0
+    # Larger requests -> fewer transactions/second.
+    assert result.series["2vms"] == sorted(result.series["2vms"],
+                                           reverse=True)

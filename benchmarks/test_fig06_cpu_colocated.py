@@ -1,0 +1,34 @@
+"""Figure 6 bench: CPU-utilization breakdown, co-located read.
+
+Shape checks (paper: ~40% client-side and ~65% datanode-side CPU saving):
+vRead saves a large fraction on both sides; the vanilla datanode burns CPU
+in virtio copies and vhost-net, which vanish entirely with vRead.
+"""
+
+from repro.experiments.cpu_breakdowns import run_fig06
+from repro.metrics.accounting import COPY_VIRTIO, COPY_VREAD_BUFFER, VHOST_NET
+
+FILE_BYTES = 32 << 20
+
+
+def test_fig06_cpu_colocated(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_fig06(file_bytes=FILE_BYTES), rounds=1, iterations=1)
+    report(result.render()
+           + f"\n  client CPU saving: {result.client_saving_pct():.1f}% "
+             f"(paper ~40%)"
+           + f"\n  datanode-side saving: {result.serving_saving_pct():.1f}% "
+             f"(paper ~65%)")
+    assert 20.0 < result.client_saving_pct() < 75.0
+    assert 35.0 < result.serving_saving_pct() < 85.0
+    # The vanilla datanode side pays virtio copies + vhost-net; vRead's
+    # daemon pays neither (no virtual devices on its path).
+    vanilla_dn = result.serving.bars["vanilla-datanode"]
+    vread_daemon = result.serving.bars["vRead-daemon"]
+    assert vanilla_dn.get(COPY_VIRTIO) > 0
+    assert vanilla_dn.get(VHOST_NET) > 0
+    assert vread_daemon.get(COPY_VIRTIO) == 0
+    assert vread_daemon.get(VHOST_NET) == 0
+    assert vread_daemon.get(COPY_VREAD_BUFFER) > 0
+    # Co-located vRead involves no virtual network on the client either.
+    assert result.client.bars["vRead"].get(VHOST_NET) == 0

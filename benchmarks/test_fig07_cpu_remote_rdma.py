@@ -1,0 +1,32 @@
+"""Figure 7 bench: CPU breakdown, remote read with RDMA daemons.
+
+Shape checks (paper: ~45% client / >50% datanode-side saving): the RDMA
+cost is far below vanilla's vhost-net, and the active-push model puts more
+of it on the datanode side than the client side.
+"""
+
+from repro.experiments.cpu_breakdowns import run_fig07
+from repro.metrics.accounting import RDMA, VHOST_NET
+
+FILE_BYTES = 32 << 20
+
+
+def test_fig07_cpu_remote_rdma(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_fig07(file_bytes=FILE_BYTES), rounds=1, iterations=1)
+    report(result.render()
+           + f"\n  client CPU saving: {result.client_saving_pct():.1f}% "
+             f"(paper ~45%)"
+           + f"\n  datanode-side saving: {result.serving_saving_pct():.1f}% "
+             f"(paper >50%)")
+    assert 20.0 < result.client_saving_pct() < 80.0
+    # Paper says "more than 50%"; our daemon model is leaner than the
+    # prototype, so the saving lands high in the range.
+    assert 50.0 < result.serving_saving_pct() < 97.0
+    # RDMA's CPU cost is far below the vhost-net cost it replaces.
+    vanilla_client = result.client.bars["vanilla"]
+    vread_serving = result.serving.bars["vRead-daemon"]
+    assert vread_serving.get(RDMA) < vanilla_client.get(VHOST_NET) / 3
+    # Active push: the datanode side carries the rdma cost.
+    client_rdma = result.client.bars["vRead"].get(RDMA)
+    assert vread_serving.get(RDMA) >= client_rdma

@@ -1,0 +1,35 @@
+"""Figure 8 bench: CPU breakdown, remote read with TCP daemon transport.
+
+Shape checks: the user-space daemon TCP ("vRead-net") is less efficient
+per byte than in-kernel vhost-net, yet the total CPU is still below vanilla
+because the datanode VM is out of the path entirely.
+"""
+
+from repro.experiments.cpu_breakdowns import run_fig07, run_fig08
+from repro.metrics.accounting import RDMA, VHOST_NET, VREAD_NET
+
+FILE_BYTES = 32 << 20
+
+
+def test_fig08_cpu_remote_tcp(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_fig08(file_bytes=FILE_BYTES), rounds=1, iterations=1)
+    report(result.render()
+           + f"\n  client CPU saving: {result.client_saving_pct():.1f}% "
+             f"(paper: total still slightly lower than vanilla)"
+           + f"\n  datanode-side saving: {result.serving_saving_pct():.1f}%")
+    # Total CPU still below the vanilla case on both sides...
+    assert result.client_saving_pct() > 0
+    assert result.serving_saving_pct() > 0
+    # ...but far less profitable than the RDMA transport.
+    rdma_result = run_fig07(file_bytes=FILE_BYTES)
+    tcp_client_total = result.client.bars["vRead"].total
+    rdma_client_total = rdma_result.client.bars["vRead"].total
+    assert tcp_client_total > rdma_client_total
+    # vRead-net appears on both sides; nothing crosses vhost-net with vRead.
+    assert result.client.bars["vRead"].get(VREAD_NET) > 0
+    assert result.serving.bars["vRead-daemon"].get(VREAD_NET) > 0
+    assert result.client.bars["vRead"].get(VHOST_NET) == 0
+    # Per-byte, the daemons' user-space TCP costs more than RDMA did.
+    assert (result.serving.bars["vRead-daemon"].get(VREAD_NET)
+            > rdma_result.serving.bars["vRead-daemon"].get(RDMA) * 3)

@@ -1,0 +1,44 @@
+"""Figure 9 bench: data access delay, vanilla vs vRead, 2 and 4 VMs.
+
+Shape checks (paper: delay reduced up to 40% with 2 VMs, up to 50% with
+4 VMs): vRead is faster at every request size in every scenario; CPU
+contention (4 VMs) hurts vanilla more than vRead, widening the gap.
+"""
+
+from repro.experiments import fig09_vread_delay as fig09
+
+FILE_BYTES = 16 << 20
+
+
+def test_fig09_vread_delay(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig09.run(file_bytes=FILE_BYTES), rounds=1, iterations=1)
+    lines = [result.render()]
+    for vms in ("2vms", "4vms"):
+        best = max(result.reduction_pct(vms, cached, size)
+                   for cached in (False, True)
+                   for size in result.no_cache.x_values)
+        lines.append(f"  max delay reduction {vms}: {best:.1f}% "
+                     f"(paper: up to {'40' if vms == '2vms' else '50'}%)")
+    report("\n".join(lines))
+
+    for figure in (result.no_cache, result.cache):
+        for size in figure.x_values:
+            for vms in ("2vms", "4vms"):
+                vanilla = figure.value(f"vanilla-{vms}", size)
+                vread = figure.value(f"vRead-{vms}", size)
+                assert vread < vanilla, (
+                    f"{figure.figure} {size} {vms}: vRead must be faster")
+            # Contention slows everyone down...
+            assert (figure.value("vanilla-4vms", size)
+                    > figure.value("vanilla-2vms", size))
+    # ...but hurts vanilla more than vRead at the paper's headline point
+    # (1MB requests, warm cache).
+    vanilla_gap = (result.cache.value("vanilla-4vms", "1MB")
+                   / result.cache.value("vanilla-2vms", "1MB"))
+    vread_gap = (result.cache.value("vRead-4vms", "1MB")
+                 / result.cache.value("vRead-2vms", "1MB"))
+    assert vanilla_gap > 1.05
+    # Meaningful reductions in the paper's direction.
+    assert result.reduction_pct("2vms", True, "1MB") > 20.0
+    assert result.reduction_pct("4vms", True, "1MB") > 25.0

@@ -1,0 +1,26 @@
+"""Sensitivity bench: the headline result must be calibration-robust.
+
+Shape checks: halving or doubling any single cost constant never flips the
+sign of vRead's improvement — the win is structural (fewer copies, fewer
+thread handoffs), not an artifact of one lucky constant.
+"""
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: sensitivity.run(file_bytes=8 << 20), rounds=1, iterations=1)
+    most = max(sensitivity.DEFAULT_KNOBS, key=result.spread)
+    report(result.render()
+           + f"\n  always positive: {result.always_positive()}"
+           + f"\n  most sensitive: {most}")
+    assert result.always_positive()
+    # Making vRead's own copies costlier must *shrink* its advantage...
+    cheap = result.cells[("vread_copy_cycles_per_byte", 0.5)][0]
+    costly = result.cells[("vread_copy_cycles_per_byte", 2.0)][0]
+    assert cheap > costly
+    # ...and making the vanilla path costlier must *grow* it.
+    light = result.cells[("hdfs_checksum_cycles_per_byte", 0.5)][0]
+    heavy = result.cells[("hdfs_checksum_cycles_per_byte", 2.0)][0]
+    assert heavy > light

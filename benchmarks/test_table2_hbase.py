@@ -1,0 +1,24 @@
+"""Table 2 bench: HBase scan / sequential read / random read.
+
+Shape checks (paper: +27.3% / +23.6% / +17.3%): every operation improves
+with vRead, and the random-read improvement is the smallest (most diluted
+by per-get region-server work).
+"""
+
+from repro.experiments import table2_hbase
+
+
+def test_table2_hbase(benchmark, report):
+    result = benchmark.pedantic(table2_hbase.run, rounds=1, iterations=1)
+    report(result.render())
+    for operation in table2_hbase.OPERATIONS:
+        improvement = result.improvement_pct(operation)
+        assert improvement > 5.0, f"{operation}: no meaningful improvement"
+        assert improvement < 60.0, f"{operation}: improvement implausibly large"
+    # Random reads benefit least (paper's ordering: scan > seq > random).
+    assert (result.improvement_pct("random-read")
+            < result.improvement_pct("scan"))
+    assert (result.improvement_pct("random-read")
+            < result.improvement_pct("sequential-read"))
+    # Scan moves data in bulk: much higher absolute MB/s than per-row gets.
+    assert result.rows["scan"][0] > result.rows["sequential-read"][0] * 5

@@ -1,0 +1,22 @@
+"""Table 3 bench: Hive range query and Sqoop export.
+
+Shape checks (paper: -21.3% and -11.3% completion time): both workloads
+get faster with vRead, and the Sqoop improvement is smaller than Hive's
+because the MySQL insert side — which vRead cannot optimize — bounds it.
+"""
+
+from repro.experiments import table3_hive_sqoop
+
+
+def test_table3_hive_sqoop(benchmark, report):
+    result = benchmark.pedantic(table3_hive_sqoop.run, rounds=1, iterations=1)
+    report(result.render())
+    assert result.hive_reduction_pct > 8.0
+    assert result.hive_reduction_pct < 35.0     # paper: 21.3%
+    assert result.sqoop_reduction_pct > 3.0
+    assert result.sqoop_reduction_pct < 20.0    # paper: 11.3%
+    # The write-side bottleneck caps Sqoop below Hive.
+    assert result.sqoop_reduction_pct < result.hive_reduction_pct
+    # Sanity: vRead is never slower.
+    assert result.hive_select[1] < result.hive_select[0]
+    assert result.sqoop_export[1] < result.sqoop_export[0]

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""TestDFSIO on the paper's Figure 10 deployment.
+
+Runs the Hadoop TestDFSIO benchmark (write, cold read, warm re-read) on the
+three data layouts the paper evaluates — co-located, remote, hybrid — with
+vanilla HDFS and with vRead, and prints a Fig 11-style table.
+
+Run:  python examples/dfsio_benchmark.py [--freq GHZ] [--vms N] [--mb SIZE]
+"""
+
+import argparse
+
+from repro.cluster import VirtualHadoopCluster
+from repro.metrics.report import Table
+from repro.workloads.testdfsio import TestDfsio
+
+LAYOUTS = {
+    "co-located": {"favored": ["dn1"], "spread": False},
+    "remote": {"favored": ["dn2"], "spread": False},
+    "hybrid": {"favored": None, "spread": True},
+}
+
+
+def run_one(scenario, layout, freq_hz, total_vms, file_mb, vread):
+    cluster = VirtualHadoopCluster(frequency_hz=freq_hz,
+                                   total_vms_per_host=total_vms,
+                                   vread=vread)
+    dfsio = TestDfsio(cluster.client(), request_bytes=1 << 20)
+
+    def proc():
+        write = yield from dfsio.write(2, file_mb << 20, **layout)
+        cluster.drop_all_caches()
+        read = yield from dfsio.read(2)
+        reread = yield from dfsio.read(2)
+        return write, read, reread
+
+    write, read, reread = cluster.run(cluster.sim.process(proc()))
+    cluster.stop_background()
+    return write, read, reread
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--freq", type=float, default=2.0,
+                        help="CPU frequency in GHz (paper: 1.6/2.0/3.2)")
+    parser.add_argument("--vms", type=int, default=2, choices=(2, 4),
+                        help="total VMs per host (4 adds lookbusy hogs)")
+    parser.add_argument("--mb", type=int, default=64,
+                        help="file size in MB (2 files are written)")
+    args = parser.parse_args()
+
+    table = Table(["scenario", "mode", "write MB/s", "read MB/s",
+                   "re-read MB/s", "read CPU ms"],
+                  title=f"TestDFSIO @{args.freq}GHz, {args.vms} VMs/host, "
+                        f"2 x {args.mb}MB files")
+    improvements = []
+    for scenario, layout in LAYOUTS.items():
+        row = {}
+        for vread in (False, True):
+            write, read, reread = run_one(scenario, layout, args.freq * 1e9,
+                                          args.vms, args.mb, vread)
+            mode = "vRead" if vread else "vanilla"
+            table.add_row(scenario, mode, f"{write.throughput_mbps:.0f}",
+                          f"{read.throughput_mbps:.0f}",
+                          f"{reread.throughput_mbps:.0f}",
+                          f"{read.cpu_milliseconds:.1f}")
+            row[mode] = read.throughput_mbps
+        improvements.append(
+            (scenario, (row["vRead"] / row["vanilla"] - 1) * 100))
+    print(table.render())
+    for scenario, gain in improvements:
+        print(f"  {scenario}: vRead cold-read improvement {gain:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — reproduction of vRead (Middleware '15) on a simulated cloud.
+
+vRead gives HDFS clients in VMs a hypervisor-level shortcut to the block
+files on datanode VMs' disk images, skipping the virtio/vhost/TCP copy
+chain.  This package implements the whole stack — discrete-event simulator,
+KVM-like hosts, virtio devices, page caches, networks, HDFS, and vRead
+itself — plus the workloads and experiment drivers that regenerate every
+table and figure in the paper.
+
+Start here::
+
+    from repro.cluster import VirtualHadoopCluster
+
+    cluster = VirtualHadoopCluster(vread=True)
+
+or run ``python -m repro --help``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — enumerate the available experiments.
+* ``run <name> [--quick]`` — run one experiment (or ``all``) and print its
+  paper-style table(s).
+* ``demo`` — the quickstart: vanilla vs vRead on one file, verified.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+EXPERIMENTS: Dict[str, str] = {
+    "fig02": "HDFS-in-VM vs local read delay (motivation)",
+    "fig03": "netperf TCP_RR under I/O-thread contention",
+    "fig06": "CPU breakdown, co-located read",
+    "fig07": "CPU breakdown, remote read (RDMA)",
+    "fig08": "CPU breakdown, remote read (TCP daemons)",
+    "fig09": "data access delay, vanilla vs vRead",
+    "fig11": "TestDFSIO throughput (6 panels x 3 frequencies)",
+    "fig12": "TestDFSIO CPU running time",
+    "fig13": "TestDFSIO-write throughput (vRead_update overhead)",
+    "table2": "HBase scan / sequential / random read",
+    "table3": "Hive select + Sqoop export",
+    "ablation-direct-read": "mounted host FS vs direct-read bypass (§6)",
+    "ablation-transport": "RDMA vs TCP daemon transports",
+    "ablation-ring": "shared-ring geometry sweep",
+    "ablation-packet-size": "HDFS packet-size sweep",
+    "ablation-cache-size": "host page-cache size vs re-read speed",
+    "scale-clients": "multi-client scale-out (extension)",
+    "sensitivity": "cost-model perturbation robustness",
+}
+
+
+def _runner_for(name: str, quick: bool) -> Callable[[], object]:
+    mb = 1 << 20
+    file_bytes = 8 * mb if quick else 32 * mb
+    if name == "fig02":
+        from repro.experiments import fig02_motivation_delay as module
+        return lambda: module.run(file_bytes=(8 * mb if quick else 16 * mb))
+    if name == "fig03":
+        from repro.experiments import fig03_iothread_sync as module
+        return lambda: module.run(duration=0.1 if quick else 0.3)
+    if name in ("fig06", "fig07", "fig08"):
+        from repro.experiments import cpu_breakdowns as module
+        runner = {"fig06": module.run_fig06, "fig07": module.run_fig07,
+                  "fig08": module.run_fig08}[name]
+        return lambda: runner(file_bytes=file_bytes)
+    if name == "fig09":
+        from repro.experiments import fig09_vread_delay as module
+        return lambda: module.run(file_bytes=(8 * mb if quick else 16 * mb))
+    if name == "fig11":
+        from repro.experiments import fig11_dfsio_throughput as module
+        return lambda: module.run(file_bytes=file_bytes)
+    if name == "fig12":
+        from repro.experiments import fig12_dfsio_cputime as module
+        return lambda: module.run(file_bytes=file_bytes)
+    if name == "fig13":
+        from repro.experiments import fig13_write_throughput as module
+        return lambda: module.run(file_bytes=file_bytes)
+    if name == "table2":
+        from repro.experiments import table2_hbase as module
+        return lambda: module.run(n_rows=8_192 if quick else 32_768)
+    if name == "table3":
+        from repro.experiments import table3_hive_sqoop as module
+        return lambda: module.run(n_rows=65_536 if quick else 262_144)
+    if name == "ablation-direct-read":
+        from repro.experiments import ablation_direct_read as module
+        return lambda: module.run(file_bytes=file_bytes)
+    if name == "ablation-transport":
+        from repro.experiments import ablation_transport as module
+        return lambda: module.run(file_bytes=file_bytes)
+    if name == "ablation-ring":
+        from repro.experiments import ablation_ring as module
+        return lambda: module.run(file_bytes=file_bytes)
+    if name == "ablation-packet-size":
+        from repro.experiments import ablation_packet_size as module
+        return lambda: module.run(file_bytes=file_bytes)
+    if name == "ablation-cache-size":
+        from repro.experiments import ablation_cache_size as module
+        return lambda: module.run(file_bytes=file_bytes)
+    if name == "scale-clients":
+        from repro.experiments import scale_clients as module
+        return lambda: module.run(file_bytes=(4 * mb if quick else 16 * mb))
+    if name == "sensitivity":
+        from repro.experiments import sensitivity as module
+        return lambda: module.run(file_bytes=(4 * mb if quick else 16 * mb))
+    raise KeyError(name)
+
+
+def cmd_list(_args) -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, description in EXPERIMENTS.items():
+        print(f"  {name.ljust(width)}  {description}")
+    print("\nrun one with: python -m repro run <name>   (or 'all')")
+    return 0
+
+
+def cmd_run(args) -> int:
+    if args.experiment == "all":
+        from repro.experiments import run_all
+        return run_all.main(["--quick"] if args.quick else [])
+    try:
+        runner = _runner_for(args.experiment, args.quick)
+    except KeyError:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: python -m repro list", file=sys.stderr)
+        return 2
+    result = runner()
+    print(result.render())
+    return 0
+
+
+def _demo(_args) -> int:
+    from repro.cluster import VirtualHadoopCluster
+    from repro.storage.content import PatternSource
+
+    payload = PatternSource(32 << 20, seed=42)
+    for mode in ("vanilla", "vRead"):
+        cluster = VirtualHadoopCluster(vread=(mode == "vRead"))
+
+        def load():
+            yield from cluster.write_dataset("/demo", payload,
+                                             favored=["dn1"])
+
+        cluster.run(cluster.sim.process(load()))
+        cluster.settle()
+        cluster.drop_all_caches()
+        start = cluster.sim.now
+
+        def read():
+            source = yield from cluster.client().read_file("/demo")
+            return source
+
+        source = cluster.run(cluster.sim.process(read()))
+        elapsed = cluster.sim.now - start
+        assert source.checksum() == payload.checksum()
+        print(f"{mode:8s} 32MB cold read: {elapsed * 1e3:7.1f} ms "
+              f"({32 / elapsed:5.0f} MB/s) — data verified")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="vRead (Middleware '15) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    parser_list = sub.add_parser("list", help="list experiments")
+    parser_list.set_defaults(func=cmd_list)
+
+    parser_run = sub.add_parser("run", help="run an experiment (or 'all')")
+    parser_run.add_argument("experiment")
+    parser_run.add_argument("--quick", action="store_true",
+                            help="smaller datasets")
+    parser_run.set_defaults(func=cmd_run)
+
+    parser_demo = sub.add_parser("demo", help="vanilla-vs-vRead quick demo")
+    parser_demo.set_defaults(func=_demo)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

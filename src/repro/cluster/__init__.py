@@ -1,0 +1,12 @@
+"""Cluster construction: declarative testbeds matching the paper's setups.
+
+:class:`~repro.cluster.builder.VirtualHadoopCluster` builds the paper's
+Figure 10 topology (and variants): physical hosts on a 10 GbE/RoCE LAN,
+a client+namenode VM and a co-located datanode VM on host 1, a second
+datanode VM on host 2, optional lookbusy background VMs, and — when
+enabled — vRead installed across the cluster.
+"""
+
+from repro.cluster.builder import ClusterConfig, VirtualHadoopCluster
+
+__all__ = ["ClusterConfig", "VirtualHadoopCluster"]

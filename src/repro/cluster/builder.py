@@ -1,0 +1,217 @@
+"""Build simulated virtual Hadoop clusters (the paper's Figure 10).
+
+Default topology::
+
+    Host1: VM1 client+namenode | VM2 datanode1 | [VM3, VM4: lookbusy 85%]
+    Host2: VM1 datanode2       | [VM2..VM4: lookbusy 85%]
+
+``total_vms_per_host=2`` gives the paper's "2vms" scenarios (no background
+load); ``total_vms_per_host=4`` gives the "4vms" scenarios where vCPU and
+I/O threads contend for the quad-core hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core import VReadManager
+from repro.core.integration import VReadDfsClient
+from repro.hdfs import Datanode, DfsClient, HdfsConfig, Namenode
+from repro.hostmodel import PhysicalHost
+from repro.hostmodel.costs import CostModel
+from repro.hostmodel.frequency import GHZ_2_0
+from repro.net.lan import Lan
+from repro.net.rdma import RdmaLink
+from repro.net.tcp import VmNetwork
+from repro.sim import Simulator
+from repro.virt.vm import VirtualMachine
+from repro.workloads.lookbusy import Lookbusy
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs for a :class:`VirtualHadoopCluster`."""
+
+    #: Physical hosts (>=2 for the remote/hybrid scenarios).
+    n_hosts: int = 2
+    #: Hosts carrying a datanode VM (host1..hostN); None = every host.
+    #: Extra hosts stay empty for auxiliary services (e.g. the MySQL box in
+    #: the Sqoop experiment).
+    n_datanodes: Optional[int] = None
+    cores_per_host: int = 4
+    frequency_hz: float = GHZ_2_0
+    #: Total VMs per host including client/datanodes ("2vms" vs "4vms").
+    total_vms_per_host: int = 2
+    lookbusy_utilization: float = 0.85
+    #: HDFS block size (paper default 64 MB; shrink for quick runs).
+    block_size: int = 64 * 1024 * 1024
+    replication: int = 1
+    #: Install vRead and expose a vRead-enabled client.
+    vread: bool = False
+    #: Remote daemon transport: 'rdma' (RoCE) or 'tcp'.
+    vread_transport: str = "rdma"
+    #: Section 6 ablation: daemons bypass the host filesystem.
+    vread_bypass_host_fs: bool = False
+    #: ivshmem ring geometry + response chunking (ablation knobs).
+    vread_ring_slots: int = 1024
+    vread_ring_slot_bytes: int = 4096
+    vread_chunk_bytes: int = 1 << 20
+    #: HDFS data-transfer packet size (None = HdfsConfig default).
+    packet_bytes: Optional[int] = None
+    costs: Optional[CostModel] = None
+
+    def __post_init__(self):
+        if self.n_hosts < 2:
+            raise ValueError("need at least 2 hosts (client + remote datanode)")
+        if self.total_vms_per_host < 2:
+            raise ValueError("need at least 2 VMs on host1 (client + datanode)")
+        if self.n_datanodes is not None and not (
+                2 <= self.n_datanodes <= self.n_hosts):
+            raise ValueError(
+                f"n_datanodes must be in [2, n_hosts]: {self.n_datanodes}")
+
+
+class VirtualHadoopCluster:
+    """A ready-to-use simulated deployment."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None, **overrides):
+        if config is None:
+            config = ClusterConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config or keyword overrides")
+        self.config = config
+        self.costs = config.costs or CostModel()
+        self.sim = Simulator()
+        self.lan = Lan(self.sim, self.costs)
+        self.network = VmNetwork(self.sim, self.lan, self.costs)
+        self.rdma = RdmaLink(self.sim, self.lan, self.costs)
+
+        self.hosts: List[PhysicalHost] = []
+        for i in range(config.n_hosts):
+            host = PhysicalHost(self.sim, f"host{i + 1}",
+                                cores=config.cores_per_host,
+                                frequency_hz=config.frequency_hz,
+                                costs=self.costs)
+            self.lan.attach(host)
+            self.hosts.append(host)
+
+        # --- paper topology: client+NN and dn1 on host1, dn2.. elsewhere.
+        self.client_vm = VirtualMachine(self.hosts[0], "client")
+        n_datanodes = config.n_datanodes or config.n_hosts
+        self.datanode_vms: List[VirtualMachine] = [
+            VirtualMachine(self.hosts[0], "datanode1")]
+        for i, host in enumerate(self.hosts[1:n_datanodes], start=2):
+            self.datanode_vms.append(VirtualMachine(host, f"datanode{i}"))
+
+        hdfs_kwargs = {"block_size": config.block_size,
+                       "replication": config.replication}
+        if config.packet_bytes is not None:
+            hdfs_kwargs["packet_bytes"] = config.packet_bytes
+        self.hdfs_config = HdfsConfig(**hdfs_kwargs)
+        self.namenode = Namenode(self.hdfs_config, vm=self.client_vm)
+        self.datanodes: List[Datanode] = [
+            Datanode(f"dn{i + 1}", vm, self.namenode, self.network)
+            for i, vm in enumerate(self.datanode_vms)]
+
+        # --- background lookbusy VMs.  The paper's "2vms" scenario has no
+        # background load at all; with more VMs per host, every host is
+        # filled to the total with 85% lookbusy hogs (host2 gets 3 in the
+        # "4vms" case, exactly as Figure 10 shows).
+        self.lookbusy: List[Lookbusy] = []
+        self.background_vms: List[VirtualMachine] = []
+        for host in self.hosts:
+            occupied = len(host.vms)
+            # Only hosts running cluster VMs receive background load;
+            # auxiliary hosts (e.g. a MySQL box) are left alone.
+            fill_to = (config.total_vms_per_host
+                       if config.total_vms_per_host > 2 and occupied > 0
+                       else occupied)
+            for j in range(fill_to - occupied):
+                vm = VirtualMachine(host, f"{host.name}-bg{j + 1}")
+                self.background_vms.append(vm)
+                self.lookbusy.append(
+                    Lookbusy(vm, config.lookbusy_utilization))
+
+        # --- vRead deployment.
+        self.vread_manager: Optional[VReadManager] = None
+        if config.vread:
+            self.vread_manager = VReadManager(
+                self.namenode, self.network, self.lan,
+                rdma_link=self.rdma, transport=config.vread_transport,
+                bypass_host_fs=config.vread_bypass_host_fs,
+                ring_slots=config.vread_ring_slots,
+                ring_slot_bytes=config.vread_ring_slot_bytes,
+                channel_chunk_bytes=config.vread_chunk_bytes)
+
+        self._vanilla_client = DfsClient(self.client_vm, self.namenode,
+                                         self.network)
+
+    # ------------------------------------------------------------------ client
+    def client(self) -> Union[DfsClient, VReadDfsClient]:
+        """The HDFS client under test: vRead-enabled if configured."""
+        if self.vread_manager is not None:
+            return self.vread_manager.attach_client(self.client_vm)
+        return self._vanilla_client
+
+    def vanilla_client(self) -> DfsClient:
+        """A plain client (e.g. to load datasets identically in both modes)."""
+        return self._vanilla_client
+
+    def add_client_vm(self, name: str,
+                      host_index: int = 0) -> VirtualMachine:
+        """Add another client VM (scale-out experiments)."""
+        return VirtualMachine(self.hosts[host_index], name)
+
+    def client_for(self, vm: VirtualMachine):
+        """An HDFS client for any VM, honouring the cluster's vRead mode."""
+        if self.vread_manager is not None:
+            return self.vread_manager.attach_client(vm)
+        return DfsClient(vm, self.namenode, self.network)
+
+    # ------------------------------------------------------------------- runs
+    def run(self, process):
+        """Run the simulation until ``process`` completes; return its value."""
+        return self.sim.run_until_complete(process)
+
+    def run_all(self, processes):
+        """Run until every process in ``processes`` completes."""
+        results = []
+        for process in processes:
+            results.append(self.sim.run_until_complete(process))
+        return results
+
+    def settle(self) -> None:
+        """Drain pending events (only safe with background load stopped)."""
+        self.sim.run()
+
+    def stop_background(self) -> None:
+        for hog in self.lookbusy:
+            hog.stop()
+
+    # ------------------------------------------------------------------ caches
+    def drop_all_caches(self) -> None:
+        """Cold-read preparation: drop every guest and host cache."""
+        for host in self.hosts:
+            host.drop_caches()
+            for vm in host.vms:
+                vm.drop_guest_cache()
+
+    def set_frequency(self, frequency_hz: float) -> None:
+        """cpufreq-set on every host."""
+        for host in self.hosts:
+            host.set_frequency(frequency_hz)
+
+    # ------------------------------------------------------------------- data
+    def write_dataset(self, path: str, source, favored=None,
+                      spread: bool = False, replication: Optional[int] = None):
+        """Generator: load a dataset through the vanilla write path."""
+        yield from self._vanilla_client.write_file(
+            path, source, replication=replication, favored=favored,
+            spread=spread)
+
+    def __repr__(self) -> str:
+        mode = "vRead" if self.config.vread else "vanilla"
+        return (f"<VirtualHadoopCluster {mode} hosts={len(self.hosts)} "
+                f"vms/host={self.config.total_vms_per_host} "
+                f"freq={self.config.frequency_hz / 1e9:.1f}GHz>")

@@ -1,0 +1,37 @@
+"""vRead — the paper's contribution: hypervisor-level HDFS read shortcuts.
+
+Components (paper Sections 3 and 4):
+
+* :mod:`repro.core.api` — ``libvread``, the user-level library (Table 1):
+  ``vread_open`` / ``vread_read`` / ``vread_seek`` / ``vread_close`` (+
+  ``vread_update``), with the block-name -> descriptor hash table.
+* :mod:`repro.core.channel` — the guest<->daemon shared-memory ring channel
+  (ivshmem POSIX SHM + eventfd signalling, Section 3.3).
+* :mod:`repro.core.daemon` — the per-VM vRead daemon and the per-host
+  service: the datanodeID -> disk-image hash table, loop-mounted images,
+  dentry refresh on namenode commit notifications (Section 3.2).
+* :mod:`repro.core.remote` — remote reads between host daemons over RDMA
+  (RoCE, active-push) or the TCP fallback (footnote 2 / Figure 8).
+* :mod:`repro.core.integration` — the re-implemented ``DFSInputStream``
+  read paths (Algorithms 1 and 2) with vanilla fallback.
+* :mod:`repro.core.manager` — deployment: wires everything onto a cluster
+  and hands out vRead-enabled HDFS clients.
+"""
+
+from repro.core.api import VReadLibrary
+from repro.core.channel import VReadChannel
+from repro.core.daemon import VReadDaemon, VReadHostService
+from repro.core.descriptors import VReadDescriptor
+from repro.core.integration import VReadDfsClient, VReadDfsInputStream
+from repro.core.manager import VReadManager
+
+__all__ = [
+    "VReadChannel",
+    "VReadDaemon",
+    "VReadDescriptor",
+    "VReadDfsClient",
+    "VReadDfsInputStream",
+    "VReadHostService",
+    "VReadLibrary",
+    "VReadManager",
+]

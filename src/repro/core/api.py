@@ -1,0 +1,138 @@
+"""libvread: the user-level vRead API (paper Table 1).
+
+All functions charge the JNI crossing (HDFS is Java; libvread is C) plus
+library work on the calling VM's vCPU, then converse with the per-VM daemon
+over the shared-ring channel.  ``vread_open`` returns ``None`` when no
+descriptor can be obtained (unknown datanode, block not yet visible through
+the mount, ...) — the HDFS integration then falls back to the original
+``read_buffer`` path, exactly as in Algorithms 1 and 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.channel import ChannelRequest, OpenResult, VReadChannel
+from repro.core.daemon import ReadHeader
+from repro.core.descriptors import VfdHashTable, VReadDescriptor
+from repro.metrics.accounting import CLIENT_APPLICATION, COPY_VREAD_BUFFER, OTHERS
+from repro.storage.content import ByteSource, ConcatSource
+
+
+class VReadError(Exception):
+    """A vRead conversation failed after open (I/O error, protocol error)."""
+
+
+class VReadLibrary:
+    """libvread bound to one client VM and its channel."""
+
+    def __init__(self, vm, channel: VReadChannel):
+        self.vm = vm
+        self.channel = channel
+        #: block name -> descriptor (paper: "each obtained descriptor is
+        #: stored in a hash table in the user-level library").
+        self.vfd_hash = VfdHashTable()
+        self.opens = 0
+        self.reads = 0
+        self.fallback_denials = 0
+
+    # ---------------------------------------------------------------- helpers
+    def _jni(self):
+        yield from self.vm.vcpu.run(self.vm.costs.vread_jni_call_cycles,
+                                    CLIENT_APPLICATION)
+
+    # -------------------------------------------------------------- Table 1
+    def vread_open(self, block_name: str, datanode_id: str):
+        """Generator: open the block file on ``datanode_id``.
+
+        Returns a :class:`VReadDescriptor` or ``None`` when vRead cannot
+        serve this block (caller falls back to vanilla HDFS).
+        """
+        yield from self._jni()
+        token = yield from self.channel.acquire()
+        try:
+            yield from self.channel.guest_send_request(
+                ChannelRequest("open", block_name, datanode_id))
+            result, _ = yield from self.channel.guest_wait_response()
+        finally:
+            self.channel.release(token)
+        if not (isinstance(result, OpenResult) and result.ok):
+            self.fallback_denials += 1
+            return None
+        descriptor = VReadDescriptor(block_name, datanode_id, result.size)
+        self.vfd_hash.put(descriptor)
+        self.opens += 1
+        return descriptor
+
+    def vread_read(self, descriptor: VReadDescriptor, offset: int,
+                   length: int, copy_category: str = COPY_VREAD_BUFFER):
+        """Generator: read up to ``length`` bytes at ``offset``.
+
+        Returns a ByteSource (clamped at the block file's size).  Raises
+        :class:`VReadError` on daemon-side failure.
+        """
+        if not descriptor.open:
+            raise VReadError(f"descriptor {descriptor.vfd} is closed")
+        yield from self._jni()
+        length = max(0, min(length, descriptor.size - offset))
+        token = yield from self.channel.acquire()
+        try:
+            yield from self.channel.guest_send_request(
+                ChannelRequest("read", descriptor.block_name,
+                               descriptor.datanode_id, offset, length))
+            header, _ = yield from self.channel.guest_wait_response()
+            if not (isinstance(header, ReadHeader) and header.ok):
+                message = getattr(header, "message", "bad header")
+                raise VReadError(f"vread_read failed: {message}")
+            pieces = []
+            received = 0
+            while received < header.length:
+                piece, nbytes = yield from self.channel.guest_wait_response(
+                    copy_category=copy_category)
+                pieces.append(piece)
+                received += nbytes
+        finally:
+            self.channel.release(token)
+        self.reads += 1
+        descriptor.offset = offset + received
+        return ConcatSource(pieces)
+
+    def vread_seek(self, descriptor: VReadDescriptor, offset: int):
+        """Generator: set the descriptor's file offset (library-local)."""
+        if not descriptor.open:
+            raise VReadError(f"descriptor {descriptor.vfd} is closed")
+        if offset < 0:
+            raise VReadError(f"negative seek offset {offset}")
+        yield from self._jni()
+        descriptor.offset = offset
+        return offset
+
+    def vread_close(self, descriptor: VReadDescriptor):
+        """Generator: close the descriptor and drop it from the hash."""
+        yield from self._jni()
+        if not descriptor.open:
+            return -1
+        descriptor.open = False
+        self.vfd_hash.remove(descriptor.block_name)
+        return 0
+
+    def vread_update(self, block_name: str, datanode_id: str):
+        """Generator: tell the daemon to refresh the datanode's mount.
+
+        Called by the HDFS write path after a block commit/delete/rename
+        (paper Section 4); the namenode-notification path triggers the same
+        refresh for other hosts.
+        """
+        yield from self._jni()
+        token = yield from self.channel.acquire()
+        try:
+            yield from self.channel.guest_send_request(
+                ChannelRequest("update", block_name, datanode_id))
+            yield from self.channel.guest_wait_response()
+        finally:
+            self.channel.release(token)
+        return 0
+
+    def __repr__(self) -> str:
+        return (f"<VReadLibrary {self.vm.name} vfds={len(self.vfd_hash)} "
+                f"opens={self.opens} reads={self.reads}>")

@@ -1,0 +1,178 @@
+"""Remote-read transports between host vRead services.
+
+Two implementations of the same requester/responder protocol (paper
+Section 3.2 "Reading from a Remote Datanode" and footnote 2):
+
+* :class:`RdmaTransport` — the preferred path: verbs over RoCE, active-push
+  from the datanode side, near-zero CPU per byte.
+* :class:`TcpTransport` — the fallback: the daemons exchange data over
+  user-space TCP sockets, paying host syscalls and per-byte copies in user
+  space (category ``vRead-net``).  The paper measures this to be *more*
+  expensive per byte than in-kernel vhost-net, and Figure 8 shows exactly
+  that — our cost model preserves the asymmetry.
+
+A requester holds one lazily-created conduit per peer and serializes its
+outstanding requests on it (one in flight per host pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.metrics.accounting import VREAD_NET
+from repro.sim import Lock, Store
+
+
+@dataclass
+class RemoteRequest:
+    """Daemon -> remote daemon: open or read a block file."""
+    kind: str            # 'open' | 'read'
+    datanode_id: str
+    block_name: str
+    offset: int = 0
+    length: int = 0
+
+
+@dataclass
+class RemoteResponse:
+    """Remote daemon -> requester."""
+    ok: bool
+    payload: Any = None
+    nbytes: int = 0
+    size: int = 0        # block size, for 'open'
+    message: str = ""
+
+
+class BaseTransport:
+    """Shared requester bookkeeping: per-peer conduit + serialization."""
+
+    def __init__(self, service):
+        self.service = service
+        self._conduits: Dict[str, Tuple[Any, Lock]] = {}
+
+    def request(self, peer_service, request: RemoteRequest):
+        """Generator: send ``request`` to ``peer_service``; returns response."""
+        conduit, lock = self._conduit_to(peer_service)
+        token = yield lock.acquire()
+        try:
+            response = yield from self._roundtrip(conduit, peer_service,
+                                                  request)
+        finally:
+            lock.release(token)
+        return response
+
+    def _conduit_to(self, peer_service):
+        key = peer_service.host.name
+        entry = self._conduits.get(key)
+        if entry is None:
+            conduit = self._create_conduit(peer_service)
+            entry = (conduit, Lock(self.service.sim))
+            self._conduits[key] = entry
+        return entry
+
+    def _create_conduit(self, peer_service):
+        raise NotImplementedError
+
+    def _roundtrip(self, conduit, peer_service, request: RemoteRequest):
+        raise NotImplementedError
+
+
+class RdmaTransport(BaseTransport):
+    """Verbs over RoCE: requester posts the request, responder pushes data."""
+
+    def __init__(self, service, rdma_link):
+        super().__init__(service)
+        self.rdma_link = rdma_link
+
+    def _create_conduit(self, peer_service):
+        local_qp, remote_qp = self.rdma_link.queue_pair(
+            self.service.host, self.service.thread,
+            peer_service.host, peer_service.thread)
+        # Responder loop lives on the peer, serving this QP forever.
+        peer_service.sim.process(self._respond_loop(peer_service, remote_qp))
+        return local_qp
+
+    def _roundtrip(self, local_qp, peer_service, request: RemoteRequest):
+        yield from local_qp.post_send(request, size=96)
+        response = yield from local_qp.poll_recv()
+        return response
+
+    def _respond_loop(self, peer_service, qp):
+        while True:
+            request = yield from qp.poll_recv()
+            response = yield from peer_service.handle_remote(request)
+            # Active push: the datanode-side daemon writes the data straight
+            # into the requester host's registered memory region.
+            yield from qp.post_send(response, size=max(96, response.nbytes))
+
+
+class TcpTransport(BaseTransport):
+    """User-space TCP between daemons (vRead-net): CPU-heavy fallback."""
+
+    def _create_conduit(self, peer_service):
+        conduit = _TcpConduit(self.service, peer_service)
+        peer_service.sim.process(self._respond_loop(peer_service, conduit))
+        return conduit
+
+    def _roundtrip(self, conduit, peer_service, request: RemoteRequest):
+        yield from conduit.send_from_local(request, 96)
+        response = yield from conduit.recv_at_local()
+        return response
+
+    def _respond_loop(self, peer_service, conduit):
+        while True:
+            request = yield from conduit.recv_at_peer()
+            response = yield from peer_service.handle_remote(request)
+            yield from conduit.send_from_peer(response,
+                                              max(96, response.nbytes))
+
+
+class _TcpConduit:
+    """A host-daemon-to-host-daemon TCP socket pair."""
+
+    def __init__(self, local_service, peer_service):
+        self.local = local_service
+        self.peer = peer_service
+        sim = local_service.sim
+        self._to_peer = Store(sim, capacity=8)
+        self._to_local = Store(sim, capacity=8)
+
+    # The daemon is a user-space thread: every send/recv is a syscall plus
+    # user<->kernel copies and the host network stack — all charged to the
+    # daemon thread under 'vRead-net' (paper Fig 8).  The transmit side is
+    # costlier per byte than the (GRO-assisted) receive side.
+    def _tcp_cycles(self, service, nbytes: int, direction: str) -> float:
+        costs = service.costs
+        segments = costs.segments(nbytes)
+        per_byte = (costs.vread_tcp_tx_cycles_per_byte if direction == "tx"
+                    else costs.vread_tcp_rx_cycles_per_byte)
+        return (costs.host_syscall_cycles
+                + costs.host_net_segment_cycles * segments
+                + per_byte * nbytes)
+
+    def send_from_local(self, message, nbytes: int):
+        yield from self.local.thread.run(
+            self._tcp_cycles(self.local, nbytes, "tx"), VREAD_NET)
+        yield from self.local.lan.transfer(self.local.host, self.peer.host,
+                                           nbytes)
+        yield self._to_peer.put((message, nbytes))
+
+    def send_from_peer(self, message, nbytes: int):
+        yield from self.peer.thread.run(
+            self._tcp_cycles(self.peer, nbytes, "tx"), VREAD_NET)
+        yield from self.peer.lan.transfer(self.peer.host, self.local.host,
+                                          nbytes)
+        yield self._to_local.put((message, nbytes))
+
+    def recv_at_peer(self):
+        message, nbytes = yield self._to_peer.get()
+        yield from self.peer.thread.run(
+            self._tcp_cycles(self.peer, nbytes, "rx"), VREAD_NET)
+        return message
+
+    def recv_at_local(self):
+        message, nbytes = yield self._to_local.get()
+        yield from self.local.thread.run(
+            self._tcp_cycles(self.local, nbytes, "rx"), VREAD_NET)
+        return message

@@ -1,0 +1,113 @@
+"""The TestDFSIO parameter sweep shared by Figures 11, 12 and 13.
+
+One *cell* of the sweep = (scenario, CPU frequency, VMs-per-host, client
+mode).  Each cell builds a fresh cluster, writes the dataset, then measures
+a cold read, a warm re-read, and the client-side CPU time of both — so
+Figure 11 (throughput) and Figure 12 (CPU running time) come from the same
+runs, like the paper's single benchmark invocation reporting both.
+
+Scenario -> data layout:
+
+* ``colocated`` — all blocks on the datanode VM sharing the client's host;
+* ``remote``    — all blocks on the datanode VM on the other host;
+* ``hybrid``    — blocks spread round-robin over both datanodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.cluster import VirtualHadoopCluster
+from repro.hostmodel.frequency import PAPER_FREQUENCIES, frequency_label
+from repro.workloads.testdfsio import TestDfsio
+
+SCENARIOS = ("colocated", "remote", "hybrid")
+VM_COUNTS = (2, 4)
+MODES = ("vanilla", "vRead")
+
+
+@dataclass
+class DfsioCell:
+    """One cluster's measurements for Figures 11/12."""
+    read_mbps: float
+    reread_mbps: float
+    read_cpu_ms: float
+    reread_cpu_ms: float
+    write_mbps: float
+
+
+CellKey = Tuple[str, float, int, str]
+
+#: Memoized sweep cells, so fig11/fig12/fig13 can share runs.
+_cache: Dict[Tuple, DfsioCell] = {}
+
+
+def _scenario_layout(scenario: str):
+    if scenario == "colocated":
+        return {"favored": ["dn1"], "spread": False}
+    if scenario == "remote":
+        return {"favored": ["dn2"], "spread": False}
+    if scenario == "hybrid":
+        return {"favored": None, "spread": True}
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def run_cell(scenario: str, frequency_hz: float, total_vms: int, mode: str,
+             file_bytes: int = 32 << 20, n_files: int = 2,
+             request_bytes: int = 1 << 20) -> DfsioCell:
+    """Measure one sweep cell (memoized on all arguments)."""
+    key = (scenario, frequency_hz, total_vms, mode, file_bytes, n_files,
+           request_bytes)
+    if key in _cache:
+        return _cache[key]
+    layout = _scenario_layout(scenario)
+    cluster = VirtualHadoopCluster(
+        block_size=64 << 20, frequency_hz=frequency_hz,
+        total_vms_per_host=total_vms, vread=(mode == "vRead"))
+    dfsio = TestDfsio(cluster.client(), request_bytes=request_bytes)
+
+    def proc():
+        write_result = yield from dfsio.write(n_files, file_bytes, **layout)
+        cluster.drop_all_caches()
+        read_result = yield from dfsio.read(n_files)
+        reread_result = yield from dfsio.read(n_files)
+        return write_result, read_result, reread_result
+
+    write_result, read_result, reread_result = cluster.run(
+        cluster.sim.process(proc()))
+    cluster.stop_background()
+    cell = DfsioCell(
+        read_mbps=read_result.throughput_mbps,
+        reread_mbps=reread_result.throughput_mbps,
+        read_cpu_ms=read_result.cpu_milliseconds,
+        reread_cpu_ms=reread_result.cpu_milliseconds,
+        write_mbps=write_result.throughput_mbps,
+    )
+    _cache[key] = cell
+    return cell
+
+
+def run_sweep(scenarios: Sequence[str] = SCENARIOS,
+              frequencies: Sequence[float] = PAPER_FREQUENCIES,
+              vm_counts: Sequence[int] = VM_COUNTS,
+              modes: Sequence[str] = MODES,
+              file_bytes: int = 32 << 20, n_files: int = 2,
+              request_bytes: int = 1 << 20
+              ) -> Dict[Tuple[str, float, int, str], DfsioCell]:
+    """Run the full (or a partial) sweep; returns cells keyed by
+    (scenario, frequency, vms, mode)."""
+    cells = {}
+    for scenario in scenarios:
+        for frequency in frequencies:
+            for vms in vm_counts:
+                for mode in modes:
+                    cells[(scenario, frequency, vms, mode)] = run_cell(
+                        scenario, frequency, vms, mode, file_bytes, n_files,
+                        request_bytes)
+    return cells
+
+
+def clear_cache() -> None:
+    """Drop all memoized sweep cells (forces fresh runs)."""
+    _cache.clear()

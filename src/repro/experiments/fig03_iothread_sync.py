@@ -1,0 +1,64 @@
+"""Figure 3: I/O-thread synchronization overhead (netperf TCP_RR).
+
+netperf server and client in two co-located VMs on a quad-core host.  With
+no other load the transaction rate is high; with 2 extra VMs running 85%
+lookbusy, vCPU/I/O-thread wakeups queue behind busy cores and the rate
+drops (the paper measures ~20%).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster import VirtualHadoopCluster
+from repro.experiments.common import FigureResult
+from repro.workloads.netperf import NetperfRR
+
+REQUEST_SIZES = (32 * 1024, 64 * 1024, 128 * 1024)
+SIZE_LABELS = {32 * 1024: "32KB", 64 * 1024: "64KB", 128 * 1024: "128KB"}
+
+
+def _measure(request_bytes: int, total_vms: int, duration: float) -> float:
+    cluster = VirtualHadoopCluster(block_size=1 << 20,
+                                   total_vms_per_host=total_vms)
+    rr = NetperfRR(cluster.network, cluster.client_vm,
+                   cluster.datanode_vms[0], request_bytes=request_bytes)
+
+    def proc():
+        return (yield from rr.run(duration))
+
+    rate = cluster.run(cluster.sim.process(proc()))
+    cluster.stop_background()
+    return rate
+
+
+def run(request_sizes: Sequence[int] = REQUEST_SIZES,
+        duration: float = 0.3) -> FigureResult:
+    """Run the Figure 3 experiment; rates are transactions/second."""
+    series = {"2vms": [], "4vms": []}
+    for request_bytes in request_sizes:
+        series["2vms"].append(_measure(request_bytes, 2, duration))
+        series["4vms"].append(_measure(request_bytes, 4, duration))
+    return FigureResult(
+        figure="Fig 3",
+        title="I/O threads synchronization overhead (netperf TCP_RR)",
+        x_label="request size",
+        x_values=[SIZE_LABELS.get(s, str(s)) for s in request_sizes],
+        series=series,
+        unit="tx/s",
+        notes=f"duration={duration}s per point, quad-core, lookbusy 85%",
+    )
+
+
+def main() -> None:
+    """Entry point: run the experiment and print the rendered result."""
+    result = run()
+    print(result.render())
+    for i, size in enumerate(result.x_values):
+        two, four = result.series["2vms"][i], result.series["4vms"][i]
+        print(f"  {size}: drop = {(two - four) / two * 100:.1f}% "
+              f"(paper: ~20%)")
+
+
+if __name__ == "__main__":
+    main()

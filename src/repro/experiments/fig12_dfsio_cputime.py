@@ -1,0 +1,76 @@
+"""Figure 12: TestDFSIO CPU running time, 6 panels.
+
+The same sweep as Figure 11, reporting the benchmark's client-side CPU
+running time (ms) instead of throughput — vRead must save CPU in every
+panel, not just elapsed time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.common import FigureResult
+from repro.experiments.dfsio_sweep import MODES, VM_COUNTS, run_sweep
+from repro.experiments.fig11_dfsio_throughput import PANELS
+from repro.hostmodel.frequency import PAPER_FREQUENCIES, frequency_label
+
+
+@dataclass
+class Fig12Result:
+    """Structured result of this experiment (render() for the table)."""
+    panels: Dict[Tuple[str, str], FigureResult]
+
+    def render(self) -> str:
+        """Render the result as paper-style ASCII tables."""
+        return "\n\n".join(panel.render() for panel in self.panels.values())
+
+    def cpu_saving_pct(self, scenario: str, phase: str, freq_label: str,
+                       vms: int) -> float:
+        """vRead CPU saving (%) for one cell."""
+        panel = self.panels[(scenario, phase)]
+        vanilla = panel.value(f"vanilla-{vms}vms", freq_label)
+        vread = panel.value(f"vRead-{vms}vms", freq_label)
+        return (vanilla - vread) / vanilla * 100.0
+
+
+def run(frequencies: Sequence[float] = PAPER_FREQUENCIES,
+        file_bytes: int = 32 << 20, n_files: int = 2) -> Fig12Result:
+    """Run the experiment; see the module docstring for the setup."""
+    cells = run_sweep(frequencies=frequencies, file_bytes=file_bytes,
+                      n_files=n_files)
+    labels = [frequency_label(f) for f in frequencies]
+    panels = {}
+    for scenario, phase, letter in PANELS:
+        series = {}
+        for mode in MODES:
+            for vms in VM_COUNTS:
+                values = []
+                for frequency in frequencies:
+                    cell = cells[(scenario, frequency, vms, mode)]
+                    values.append(cell.read_cpu_ms if phase == "read"
+                                  else cell.reread_cpu_ms)
+                series[f"{mode}-{vms}vms"] = values
+        panels[(scenario, phase)] = FigureResult(
+            figure=f"Fig 12{letter}",
+            title=f"DFSIO CPU time for {scenario} "
+                  f"{'re-read' if phase == 'reread' else 'read'}",
+            x_label="CPU frequency",
+            x_values=labels,
+            series=series,
+            unit="ms",
+            notes=f"{n_files} x {file_bytes >> 20}MB files, 1MB buffer",
+        )
+    return Fig12Result(panels)
+
+
+def main() -> None:
+    """Entry point: run the experiment and print the rendered result."""
+    result = run()
+    print(result.render())
+    saving = result.cpu_saving_pct("colocated", "read", "2.0GHz", 2)
+    print(f"\n  co-located read CPU saving @2.0GHz 2vms: {saving:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

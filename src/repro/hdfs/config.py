@@ -1,0 +1,43 @@
+"""HDFS deployment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Hadoop 1.x default block size (the paper's configuration).
+DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class HdfsConfig:
+    """Cluster-wide HDFS parameters.
+
+    ``block_size`` is configurable so tests can exercise multi-block files
+    cheaply; experiments use the 64 MB default.
+    """
+
+    #: dfs.block.size — bytes per HDFS block.
+    block_size: int = DEFAULT_BLOCK_SIZE
+    #: dfs.replication — replicas per block.
+    replication: int = 1
+    #: Directory inside every datanode VM where block files live
+    #: (the same path on each datanode, as the paper notes).
+    data_dir: str = "/hadoop/dfs/data"
+    #: Datanode streaming port.
+    datanode_port: int = 50010
+    #: Data-transfer packet size: a block read streams to the client as a
+    #: pipeline of packets (real HDFS uses 64 KB; we default to 256 KB to
+    #: keep simulated event counts moderate without changing the shape).
+    packet_bytes: int = 256 * 1024
+
+    def __post_init__(self):
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+        if self.replication < 1:
+            raise ValueError(
+                f"replication must be >= 1, got {self.replication}")
+        if not self.data_dir.startswith("/"):
+            raise ValueError("data_dir must be an absolute path")
+        if self.packet_bytes < 1:
+            raise ValueError(
+                f"packet_bytes must be >= 1, got {self.packet_bytes}")

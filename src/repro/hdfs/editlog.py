@@ -1,0 +1,175 @@
+"""Namenode edit log + fsimage checkpointing.
+
+HDFS journals every namespace mutation to an edit log and periodically
+folds it into an fsimage checkpoint; on restart the namenode replays
+``fsimage + edits``.  This module gives the simulated namenode the same
+durability story: an in-order journal of namespace operations, checkpoint
+snapshots, and a replay that reconstructs files, blocks, locations and
+commit states exactly.
+
+(The journal records *metadata* only — block contents live on datanodes,
+as in real HDFS.)
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.hdfs.config import HdfsConfig
+from repro.hdfs.namenode import FileMeta, HdfsError, Namenode
+
+
+@dataclass(frozen=True)
+class EditLogEntry:
+    """One journaled namespace mutation."""
+    txid: int
+    op: str            # 'create' | 'add_block' | 'commit' | 'complete' | 'delete'
+    path: str
+    payload: Tuple = ()
+
+
+class EditLog:
+    """An append-only journal attached to a namenode via its observer hook
+    plus explicit journal calls from :class:`JournaledNamenode`."""
+
+    def __init__(self) -> None:
+        self.entries: List[EditLogEntry] = []
+        self._next_txid = 1
+        #: fsimage checkpoints: (last txid folded in, snapshot)
+        self.checkpoints: List[Tuple[int, dict]] = []
+
+    @property
+    def last_txid(self) -> int:
+        return self.entries[-1].txid if self.entries else 0
+
+    def append(self, op: str, path: str, payload: Tuple = ()) -> EditLogEntry:
+        entry = EditLogEntry(self._next_txid, op, path, payload)
+        self._next_txid += 1
+        self.entries.append(entry)
+        return entry
+
+    def entries_after(self, txid: int) -> List[EditLogEntry]:
+        return [entry for entry in self.entries if entry.txid > txid]
+
+
+class JournaledNamenode(Namenode):
+    """A namenode that journals namespace mutations to an :class:`EditLog`."""
+
+    def __init__(self, config: Optional[HdfsConfig] = None, vm=None):
+        super().__init__(config, vm)
+        self.edit_log = EditLog()
+
+    # ------------------------------------------------------------- mutations
+    def create_file(self, path, replication=None, spread=False):
+        meta = super().create_file(path, replication, spread)
+        self.edit_log.append("create", path, (meta.replication, meta.spread))
+        return meta
+
+    def allocate_block(self, path, client_vm, favored=None):
+        block = super().allocate_block(path, client_vm, favored)
+        self.edit_log.append("add_block", path,
+                             (block.block_id, tuple(block.locations)))
+        return block
+
+    def commit_block(self, block):
+        super().commit_block(block)
+        self.edit_log.append("commit", block.file_path,
+                             (block.block_id, block.size))
+
+    def complete_file(self, path):
+        super().complete_file(path)
+        self.edit_log.append("complete", path)
+
+    def delete_file(self, path):
+        blocks = super().delete_file(path)
+        self.edit_log.append("delete", path)
+        return blocks
+
+    # ------------------------------------------------------------ checkpoints
+    def checkpoint(self) -> int:
+        """Fold the log into an fsimage snapshot; returns its txid."""
+        snapshot = {
+            "files": {
+                path: {
+                    "replication": meta.replication,
+                    "spread": meta.spread,
+                    "complete": meta.complete,
+                    "blocks": [
+                        {"block_id": b.block_id, "index": b.index,
+                         "offset": b.offset, "size": b.size,
+                         "locations": list(b.locations),
+                         "committed": b.committed}
+                        for b in meta.blocks],
+                }
+                for path, meta in self._files.items()
+            },
+            "next_block_id": self._next_block_id,
+        }
+        txid = self.edit_log.last_txid
+        self.edit_log.checkpoints.append((txid, snapshot))
+        return txid
+
+
+def replay_into(namenode: Namenode, source: JournaledNamenode) -> None:
+    """Rebuild ``namenode``'s namespace from ``source``'s fsimage + edits.
+
+    ``namenode`` must be freshly constructed with the same datanodes
+    registered (HDFS restarts rediscover replicas via block reports; here
+    the journal carries locations, which is equivalent for write-once
+    blocks).
+    """
+    from repro.hdfs.block import Block
+
+    if namenode._files:
+        raise HdfsError("replay target must be empty")
+    checkpoint = (source.edit_log.checkpoints[-1]
+                  if source.edit_log.checkpoints else (0, {"files": {},
+                                                           "next_block_id":
+                                                           1000}))
+    base_txid, snapshot = checkpoint
+    # --- restore the fsimage.
+    for path, file_state in snapshot["files"].items():
+        meta = FileMeta(path, file_state["replication"],
+                        file_state["spread"])
+        meta.complete = file_state["complete"]
+        for block_state in file_state["blocks"]:
+            block = Block(block_state["block_id"], path,
+                          block_state["index"], block_state["offset"])
+            block.size = block_state["size"]
+            block.locations = list(block_state["locations"])
+            block.committed = block_state["committed"]
+            meta.blocks.append(block)
+            namenode._blocks[block.name] = block
+        namenode._files[path] = meta
+    namenode._next_block_id = snapshot["next_block_id"]
+    # --- replay edits after the checkpoint.
+    for entry in source.edit_log.entries_after(base_txid):
+        if entry.op == "create":
+            replication, spread = entry.payload
+            namenode._files[entry.path] = FileMeta(entry.path, replication,
+                                                   spread)
+        elif entry.op == "add_block":
+            block_id, locations = entry.payload
+            meta = namenode._files[entry.path]
+            block = Block(block_id, entry.path, index=len(meta.blocks),
+                          offset=meta.length)
+            block.locations = list(locations)
+            meta.blocks.append(block)
+            namenode._blocks[block.name] = block
+            namenode._next_block_id = max(namenode._next_block_id,
+                                          block_id + 1)
+        elif entry.op == "commit":
+            block_id, size = entry.payload
+            block = namenode._blocks[f"blk_{block_id}"]
+            block.size = size
+            block.committed = True
+        elif entry.op == "complete":
+            namenode._files[entry.path].complete = True
+        elif entry.op == "delete":
+            meta = namenode._files.pop(entry.path)
+            for block in meta.blocks:
+                namenode._blocks.pop(block.name, None)
+        else:
+            raise HdfsError(f"unknown edit op {entry.op!r}")

@@ -1,0 +1,102 @@
+"""fsck: cross-check namenode metadata against datanode block files.
+
+Like ``hdfs fsck /``: walks every file's block list and verifies, for every
+replica location, that the block file exists on that datanode's filesystem
+with the size the namenode believes — plus (optionally) that all replicas
+hold byte-identical content.  Used by tests as a global invariant and
+available from the CLI for debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hdfs.namenode import Namenode
+from repro.storage.filesystem import FsError
+
+
+@dataclass
+class FsckProblem:
+    path: str
+    block_name: str
+    datanode_id: Optional[str]
+    kind: str        # 'missing-replica' | 'size-mismatch' | 'content-mismatch'
+                     # | 'no-locations' | 'not-committed'
+    detail: str = ""
+
+    def render(self) -> str:
+        where = f"@{self.datanode_id}" if self.datanode_id else ""
+        return (f"{self.path} {self.block_name}{where}: {self.kind}"
+                + (f" ({self.detail})" if self.detail else ""))
+
+
+@dataclass
+class FsckReport:
+    files_checked: int = 0
+    blocks_checked: int = 0
+    replicas_checked: int = 0
+    problems: List[FsckProblem] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.problems
+
+    def render(self) -> str:
+        lines = [f"fsck: {self.files_checked} files, "
+                 f"{self.blocks_checked} blocks, "
+                 f"{self.replicas_checked} replicas checked"]
+        if self.healthy:
+            lines.append("Status: HEALTHY")
+        else:
+            lines.append(f"Status: CORRUPT ({len(self.problems)} problems)")
+            lines.extend("  " + problem.render()
+                         for problem in self.problems)
+        return "\n".join(lines)
+
+
+def fsck(namenode: Namenode, verify_content: bool = False) -> FsckReport:
+    """Check every file; returns an :class:`FsckReport`.
+
+    ``verify_content=True`` additionally compares replica bytes (expensive:
+    materializes block contents)."""
+    report = FsckReport()
+    for path in namenode.list_files():
+        report.files_checked += 1
+        for block in namenode.get_blocks(path):
+            report.blocks_checked += 1
+            if not block.committed:
+                # Under-construction tails are not errors, only noted when
+                # the file claims to be complete.
+                if namenode.file(path).complete:
+                    report.problems.append(FsckProblem(
+                        path, block.name, None, "not-committed"))
+                continue
+            if not block.locations:
+                report.problems.append(FsckProblem(
+                    path, block.name, None, "no-locations"))
+                continue
+            reference: Optional[bytes] = None
+            for dn_id in block.locations:
+                report.replicas_checked += 1
+                datanode = namenode.datanode(dn_id)
+                block_path = datanode.block_path(block.name)
+                try:
+                    size = datanode.vm.guest_fs.size(block_path)
+                except FsError:
+                    report.problems.append(FsckProblem(
+                        path, block.name, dn_id, "missing-replica"))
+                    continue
+                if size != block.size:
+                    report.problems.append(FsckProblem(
+                        path, block.name, dn_id, "size-mismatch",
+                        f"namenode={block.size} datanode={size}"))
+                    continue
+                if verify_content:
+                    data = datanode.vm.guest_fs.read(block_path)
+                    if reference is None:
+                        reference = data
+                    elif data != reference:
+                        report.problems.append(FsckProblem(
+                            path, block.name, dn_id, "content-mismatch"))
+    return report

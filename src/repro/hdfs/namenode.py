@@ -1,0 +1,190 @@
+"""The HDFS namenode: file/block metadata and commit notifications.
+
+The namenode stores file -> block lists and block -> datanode locations.
+All client/namenode logic is preserved from stock HDFS (the paper modifies
+only the read path); metadata RPCs are cheap control messages whose cost is
+charged via :meth:`Namenode.rpc`.
+
+The **commit notification** is load-bearing for vRead: when a datanode
+finalizes a block it reports to the namenode, and the namenode fans the
+event out to registered observers.  vRead daemons subscribe and use it to
+refresh the dentry/inode cache of that datanode's loop-mounted image
+(paper Section 3.2, "the synchronization is achieved through the Hadoop
+namenode").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.hdfs.block import Block
+from repro.hdfs.config import HdfsConfig
+from repro.hdfs.topology import PlacementPolicy
+from repro.metrics.accounting import OTHERS
+
+
+class HdfsError(Exception):
+    """Namespace or protocol errors in HDFS."""
+
+
+class FileMeta:
+    """Metadata of one HDFS file."""
+
+    __slots__ = ("path", "blocks", "complete", "replication", "spread")
+
+    def __init__(self, path: str, replication: int, spread: bool = False):
+        self.path = path
+        self.blocks: List[Block] = []
+        self.complete = False
+        self.replication = replication
+        #: Spread first replicas round-robin (hybrid layout) instead of
+        #: preferring the co-located datanode.
+        self.spread = spread
+
+    @property
+    def length(self) -> int:
+        return sum(block.size for block in self.blocks)
+
+    def __repr__(self) -> str:
+        return (f"<FileMeta {self.path} blocks={len(self.blocks)} "
+                f"length={self.length}>")
+
+
+class Namenode:
+    """The metadata service of the simulated HDFS cluster."""
+
+    def __init__(self, config: Optional[HdfsConfig] = None, vm=None):
+        self.config = config or HdfsConfig()
+        #: The VM hosting the namenode process (for RPC latency); optional.
+        self.vm = vm
+        self._datanodes: Dict[str, object] = {}
+        #: Datanodes excluded from new block placement (decommissioning).
+        self.excluded_datanodes: set = set()
+        self._files: Dict[str, FileMeta] = {}
+        self._blocks: Dict[str, Block] = {}
+        self._next_block_id = 1000
+        self.policy = PlacementPolicy(self)
+        #: Callbacks ``(event, block, datanode_id)`` for 'commit'/'delete'.
+        self._observers: List[Callable[[str, Block, str], None]] = []
+
+    # -------------------------------------------------------------- datanodes
+    def register_datanode(self, datanode) -> None:
+        if datanode.datanode_id in self._datanodes:
+            raise HdfsError(f"datanode {datanode.datanode_id!r} already registered")
+        self._datanodes[datanode.datanode_id] = datanode
+
+    def datanode(self, datanode_id: str):
+        try:
+            return self._datanodes[datanode_id]
+        except KeyError:
+            raise HdfsError(f"unknown datanode {datanode_id!r}")
+
+    def datanode_ids(self) -> List[str]:
+        return list(self._datanodes)
+
+    # -------------------------------------------------------------- observers
+    def add_observer(self, callback: Callable[[str, Block, str], None]) -> None:
+        self._observers.append(callback)
+
+    def _notify(self, event: str, block: Block, datanode_id: str) -> None:
+        for callback in self._observers:
+            callback(event, block, datanode_id)
+
+    # ------------------------------------------------------------------- RPC
+    def rpc(self, client_vm):
+        """Generator: charge one metadata round trip from ``client_vm``."""
+        costs = client_vm.costs
+        yield from client_vm.vcpu.run(2 * costs.syscall_cycles, OTHERS)
+        if self.vm is not None and self.vm.host is not client_vm.host:
+            yield client_vm.sim.timeout(2 * costs.lan_latency)
+
+    # --------------------------------------------------------------- namespace
+    def create_file(self, path: str, replication: Optional[int] = None,
+                    spread: bool = False) -> FileMeta:
+        if path in self._files:
+            raise HdfsError(f"file exists: {path!r}")
+        meta = FileMeta(path, replication or self.config.replication, spread)
+        self._files[path] = meta
+        return meta
+
+    def file(self, path: str) -> FileMeta:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise HdfsError(f"no such file: {path!r}")
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def file_length(self, path: str) -> int:
+        return self.file(path).length
+
+    def list_files(self) -> List[str]:
+        return sorted(self._files)
+
+    def delete_file(self, path: str) -> List[Block]:
+        """Remove a file's metadata; returns its blocks for cleanup."""
+        meta = self._files.pop(path, None)
+        if meta is None:
+            raise HdfsError(f"no such file: {path!r}")
+        for block in meta.blocks:
+            del self._blocks[block.name]
+            for dn_id in block.locations:
+                self._notify("delete", block, dn_id)
+        return meta.blocks
+
+    # ------------------------------------------------------------------ blocks
+    def allocate_block(self, path: str, client_vm,
+                       favored: Optional[Sequence[str]] = None) -> Block:
+        """Add a new under-construction block to ``path`` with replica targets."""
+        meta = self.file(path)
+        if meta.complete:
+            raise HdfsError(f"file is complete: {path!r}")
+        if meta.blocks and not meta.blocks[-1].committed:
+            raise HdfsError(
+                f"previous block of {path!r} is still under construction")
+        block = Block(self._next_block_id, path, index=len(meta.blocks),
+                      offset=meta.length)
+        self._next_block_id += 1
+        block.locations = self.policy.choose_targets(
+            client_vm, meta.replication, favored, spread=meta.spread)
+        meta.blocks.append(block)
+        self._blocks[block.name] = block
+        return block
+
+    def commit_block(self, block: Block) -> None:
+        """Finalize a block; fan out commit notifications per replica."""
+        if block.committed:
+            raise HdfsError(f"{block.name} already committed")
+        block.committed = True
+        for dn_id in block.locations:
+            self._notify("commit", block, dn_id)
+
+    def complete_file(self, path: str) -> None:
+        meta = self.file(path)
+        if meta.blocks and not meta.blocks[-1].committed:
+            raise HdfsError(f"last block of {path!r} not committed")
+        meta.complete = True
+
+    def block_by_name(self, name: str) -> Block:
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise HdfsError(f"unknown block {name!r}")
+
+    def get_blocks(self, path: str) -> List[Block]:
+        return list(self.file(path).blocks)
+
+    def blocks_in_range(self, path: str, offset: int,
+                        length: int) -> List[Block]:
+        """Blocks overlapping [offset, offset+length) — getRangeBlock()."""
+        if offset < 0 or length < 0:
+            raise HdfsError(f"negative range ({offset}, {length})")
+        end = offset + length
+        return [block for block in self.file(path).blocks
+                if block.size > 0 and block.offset < end
+                and block.end_offset > offset]
+
+    def __repr__(self) -> str:
+        return (f"<Namenode files={len(self._files)} "
+                f"blocks={len(self._blocks)} datanodes={len(self._datanodes)}>")

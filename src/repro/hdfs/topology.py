@@ -1,0 +1,91 @@
+"""Virtualization-aware block placement and replica selection.
+
+Models VMware HVE-style topology awareness (upstreamed into Hadoop 1.2.0+,
+and the deployment style the paper assumes): the cluster knows which
+physical host each datanode VM runs on, prefers a **co-located datanode VM**
+(same host, different VM) for reads, and spreads replicas across hosts for
+writes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class PlacementPolicy:
+    """Chooses datanodes for new blocks and replicas for reads."""
+
+    def __init__(self, namenode):
+        self.namenode = namenode
+        self._write_cursor = 0
+
+    # ----------------------------------------------------------------- writes
+    def choose_targets(self, client_vm, replication: int,
+                       favored: Optional[Sequence[str]] = None,
+                       spread: bool = False) -> List[str]:
+        """Datanode ids for a new block's replica pipeline.
+
+        Order of preference: explicitly favored datanodes, then a co-located
+        datanode (same physical host as the writer), then remaining
+        datanodes round-robin across hosts.  With ``spread=True`` the
+        co-located preference is skipped and first replicas round-robin over
+        all datanodes — how the paper's *hybrid* datasets (read from both
+        the co-located and the remote datanode) are laid out.
+        """
+        datanodes = [dn_id for dn_id in self.namenode.datanode_ids()
+                     if dn_id not in self.namenode.excluded_datanodes]
+        if not datanodes:
+            raise RuntimeError("no placement-eligible datanodes")
+        if replication > len(datanodes):
+            raise RuntimeError(
+                f"replication {replication} exceeds {len(datanodes)} datanodes")
+        chosen: List[str] = []
+        if favored:
+            for dn_id in favored:
+                if dn_id not in datanodes:
+                    raise RuntimeError(f"unknown favored datanode {dn_id!r}")
+                if dn_id not in chosen:
+                    chosen.append(dn_id)
+                if len(chosen) == replication:
+                    return chosen
+        if not spread:
+            local = self._co_located(client_vm, datanodes)
+            if local is not None and local not in chosen:
+                chosen.append(local)
+        # Fill remaining slots round-robin for even spread.
+        ordered = datanodes[self._write_cursor:] + datanodes[:self._write_cursor]
+        self._write_cursor = (self._write_cursor + 1) % len(datanodes)
+        for dn_id in ordered:
+            if len(chosen) == replication:
+                break
+            if dn_id not in chosen:
+                chosen.append(dn_id)
+        return chosen[:replication]
+
+    # ------------------------------------------------------------------ reads
+    def choose_read_replica(self, client_vm, locations: Sequence[str]) -> str:
+        """Pick the replica to read: co-located VM first, then any remote."""
+        return self.rank_read_replicas(client_vm, locations)[0]
+
+    def rank_read_replicas(self, client_vm,
+                           locations: Sequence[str]) -> List[str]:
+        """All replicas in preference order (co-located first).
+
+        Clients walk this list on read failures: if the preferred replica's
+        datanode is down or lost the block, the next one is tried.
+        """
+        if not locations:
+            raise RuntimeError("block has no locations")
+        local = [dn_id for dn_id in locations
+                 if self.namenode.datanode(dn_id).vm.host is client_vm.host]
+        remote = [dn_id for dn_id in locations if dn_id not in local]
+        return local + remote
+
+    # ---------------------------------------------------------------- helpers
+    def _co_located(self, client_vm, datanodes: Sequence[str]) -> Optional[str]:
+        for dn_id in datanodes:
+            datanode = self.namenode.datanode(dn_id)
+            if (datanode.vm.host is client_vm.host
+                    and datanode.vm is not client_vm):
+                return dn_id
+        return None

@@ -1,0 +1,31 @@
+"""Physical host model: cores, scheduler, frequency scaling, cost model.
+
+This package provides the substrate on which all virtualization overhead
+phenomena in the paper are reproduced:
+
+* :class:`~repro.hostmodel.cpu.CpuScheduler` — a time-sliced fair-share
+  multicore scheduler.  vCPU threads, vhost-net threads, qemu I/O threads
+  and vRead daemons are all :class:`~repro.hostmodel.cpu.Thread` entities
+  competing for cores; wake-up queueing when all cores are busy reproduces
+  the I/O-thread synchronization delays of the paper's Section 2.
+* :class:`~repro.hostmodel.costs.CostModel` — the calibrated cycle costs of
+  every data copy and boundary crossing (the paper's "5 data copies").
+* :class:`~repro.hostmodel.host.PhysicalHost` — a machine: cores + scheduler
+  + accounting + attached devices, with cpufreq-style frequency scaling.
+"""
+
+from repro.hostmodel.costs import CostModel
+from repro.hostmodel.cpu import CpuScheduler, Thread
+from repro.hostmodel.frequency import GHZ_1_6, GHZ_2_0, GHZ_3_2, ghz
+from repro.hostmodel.host import PhysicalHost
+
+__all__ = [
+    "CostModel",
+    "CpuScheduler",
+    "GHZ_1_6",
+    "GHZ_2_0",
+    "GHZ_3_2",
+    "PhysicalHost",
+    "Thread",
+    "ghz",
+]

@@ -1,0 +1,27 @@
+"""CPU frequency presets matching the paper's cpufreq-set experiments.
+
+The paper emulates low-power and high-frequency processors by pinning the
+Xeon's frequency to 1.6, 2.0 and 3.2 GHz.  All cycle costs in the model are
+frequency-independent; durations are ``cycles / frequency``.
+"""
+
+
+def ghz(value: float) -> float:
+    """Convert GHz to Hz."""
+    if value <= 0:
+        raise ValueError(f"frequency must be positive, got {value}")
+    return value * 1e9
+
+
+#: The three frequencies the paper sweeps (Figs 11 and 12).
+GHZ_1_6 = ghz(1.6)
+GHZ_2_0 = ghz(2.0)
+GHZ_3_2 = ghz(3.2)
+
+#: Sweep order used by the DFSIO experiments.
+PAPER_FREQUENCIES = (GHZ_1_6, GHZ_2_0, GHZ_3_2)
+
+
+def frequency_label(hz: float) -> str:
+    """Human-readable label, e.g. ``'2.0GHz'``."""
+    return f"{hz / 1e9:.1f}GHz"

@@ -1,0 +1,30 @@
+"""Measurement infrastructure: CPU accounting, statistics, report rendering.
+
+The paper's evaluation reports three kinds of quantities, all of which this
+package measures directly from the simulation rather than estimating:
+
+* per-component CPU utilization breakdowns (Figs 6-8, 12) via
+  :class:`~repro.metrics.accounting.CpuAccounting`,
+* latency/throughput distributions (Figs 2, 3, 9, 11, 13) via
+  :class:`~repro.metrics.stats.SummaryStats`,
+* tables/series formatted like the paper's via :mod:`repro.metrics.report`.
+"""
+
+from repro.metrics.accounting import CpuAccounting, UtilizationBreakdown
+from repro.metrics.stats import SummaryStats, percentile
+from repro.metrics.timeline import IntervalRecorder, TimeSeries
+from repro.metrics.report import Table, format_figure_series
+from repro.metrics.tracing import TraceEvent, Tracer
+
+__all__ = [
+    "CpuAccounting",
+    "IntervalRecorder",
+    "SummaryStats",
+    "Table",
+    "TimeSeries",
+    "TraceEvent",
+    "Tracer",
+    "UtilizationBreakdown",
+    "format_figure_series",
+    "percentile",
+]

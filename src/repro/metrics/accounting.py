@@ -1,0 +1,135 @@
+"""Per-thread, per-category CPU time accounting.
+
+Every cycle a simulated thread burns is charged to a *category* — the same
+labels the paper uses in its CPU-utilization breakdowns: ``client-application``,
+``loop device``, ``data copy(virtio-vqueue)``, ``data copy(vRead-buffer)``,
+``vhost-net``, ``rdma``, ``vRead-net``, ``disk read``, ``others``.
+
+The accounting object belongs to a host; the scheduler reports busy
+intervals into it as they complete.  Utilization is then *measured* over a
+window, exactly like running ``top`` during the experiment.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+# Canonical category names used throughout the code base (paper's labels).
+CLIENT_APPLICATION = "client-application"
+LOOP_DEVICE = "loop device"
+COPY_VIRTIO = "data copy(virtio-vqueue)"
+COPY_VREAD_BUFFER = "data copy(vRead-buffer)"
+VHOST_NET = "vhost-net"
+RDMA = "rdma"
+VREAD_NET = "vRead-net"
+DISK_READ = "disk read"
+OTHERS = "others"
+
+#: Order used when rendering breakdowns, mirroring the paper's legends.
+CATEGORY_ORDER = (
+    CLIENT_APPLICATION,
+    DISK_READ,
+    LOOP_DEVICE,
+    COPY_VIRTIO,
+    COPY_VREAD_BUFFER,
+    VHOST_NET,
+    VREAD_NET,
+    RDMA,
+    OTHERS,
+)
+
+
+class CpuAccounting:
+    """Accumulates CPU busy time per (thread name, category).
+
+    Supports *marks*: :meth:`snapshot` captures the current totals so a
+    later :meth:`since` returns only the activity inside a measurement
+    window — experiments use this to exclude setup/teardown work.
+    """
+
+    def __init__(self) -> None:
+        self._busy: Dict[Tuple[str, str], float] = defaultdict(float)
+
+    def charge(self, thread_name: str, category: str, seconds: float) -> None:
+        """Record ``seconds`` of busy CPU for ``thread_name`` in ``category``."""
+        if seconds < 0:
+            raise ValueError(f"negative busy time {seconds}")
+        self._busy[(thread_name, category)] += seconds
+
+    def total(self) -> float:
+        """Total busy seconds across all threads and categories."""
+        return sum(self._busy.values())
+
+    def by_category(self, threads: Optional[Iterable[str]] = None) -> Dict[str, float]:
+        """Busy seconds per category, optionally restricted to ``threads``."""
+        wanted = set(threads) if threads is not None else None
+        out: Dict[str, float] = defaultdict(float)
+        for (thread_name, category), seconds in self._busy.items():
+            if wanted is None or thread_name in wanted:
+                out[category] += seconds
+        return dict(out)
+
+    def by_thread(self) -> Dict[str, float]:
+        """Busy seconds per thread across all categories."""
+        out: Dict[str, float] = defaultdict(float)
+        for (thread_name, _), seconds in self._busy.items():
+            out[thread_name] += seconds
+        return dict(out)
+
+    def snapshot(self) -> Dict[Tuple[str, str], float]:
+        """Capture current totals (for later :meth:`since`)."""
+        return dict(self._busy)
+
+    def since(self, mark: Mapping[Tuple[str, str], float]) -> "CpuAccounting":
+        """Return a new accounting holding only activity after ``mark``."""
+        delta = CpuAccounting()
+        for key, seconds in self._busy.items():
+            diff = seconds - mark.get(key, 0.0)
+            if diff > 0:
+                delta._busy[key] = diff
+        return delta
+
+
+class UtilizationBreakdown:
+    """A CPU-utilization breakdown over a measurement window.
+
+    ``utilization[cat]`` is busy-seconds / (window x cores): the fraction of
+    the host's total CPU capacity spent in that category, matching the
+    paper's stacked-bar charts.
+    """
+
+    def __init__(self, busy_by_category: Mapping[str, float],
+                 window_seconds: float, cores: int):
+        if window_seconds <= 0:
+            raise ValueError("window must be positive")
+        if cores < 1:
+            raise ValueError("need at least one core")
+        self.window_seconds = window_seconds
+        self.cores = cores
+        capacity = window_seconds * cores
+        self.utilization: Dict[str, float] = {
+            category: seconds / capacity
+            for category, seconds in busy_by_category.items() if seconds > 0
+        }
+
+    @property
+    def total(self) -> float:
+        """Total utilization (fraction of host CPU capacity, 0..1)."""
+        return sum(self.utilization.values())
+
+    def get(self, category: str) -> float:
+        return self.utilization.get(category, 0.0)
+
+    def rows(self) -> Iterable[Tuple[str, float]]:
+        """(category, utilization) rows in the paper's legend order."""
+        for category in CATEGORY_ORDER:
+            if category in self.utilization:
+                yield category, self.utilization[category]
+        for category in sorted(self.utilization):
+            if category not in CATEGORY_ORDER:
+                yield category, self.utilization[category]
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{c}={u:.1%}" for c, u in self.rows())
+        return f"<UtilizationBreakdown total={self.total:.1%} [{parts}]>"

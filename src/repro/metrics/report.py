@@ -1,0 +1,87 @@
+"""ASCII rendering of tables and figure series.
+
+Benchmarks use these helpers to print the same rows/series the paper
+reports, so ``pytest benchmarks/ --benchmark-only`` output can be compared
+to the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+class Table:
+    """A simple fixed-width ASCII table."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        if not headers:
+            raise ValueError("table needs at least one column")
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}")
+        self.rows.append([_fmt(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_figure_series(title: str,
+                         x_label: str,
+                         x_values: Sequence,
+                         series: Mapping[str, Sequence[float]],
+                         unit: str = "") -> str:
+    """Render a figure as one row per x-value with one column per series.
+
+    Mirrors reading values off a grouped-bar chart: for Fig 9 this prints
+    request sizes down the side and vanilla/vRead x 2vms/4vms across.
+    """
+    headers = [x_label] + [f"{name}{f' ({unit})' if unit else ''}"
+                           for name in series]
+    table = Table(headers, title=title)
+    for i, x in enumerate(x_values):
+        table.add_row(x, *[values[i] for values in series.values()])
+    return table.render()
+
+
+def improvement_pct(baseline: float, improved: float) -> float:
+    """Percentage improvement of ``improved`` over ``baseline``.
+
+    Positive when ``improved`` is larger — use for throughput.  For latency
+    or completion time (lower is better) use :func:`reduction_pct`.
+    """
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (improved - baseline) / baseline * 100.0
+
+
+def reduction_pct(baseline: float, improved: float) -> float:
+    """Percentage reduction of ``improved`` relative to ``baseline``."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (baseline - improved) / baseline * 100.0

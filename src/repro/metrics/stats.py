@@ -1,0 +1,92 @@
+"""Summary statistics for latency/throughput samples."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) using linear interpolation."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+class SummaryStats:
+    """Streaming collection of samples with common summary accessors."""
+
+    def __init__(self, samples: Iterable[float] = ()) -> None:
+        self._samples: List[float] = list(samples)
+
+    def add(self, sample: float) -> None:
+        self._samples.append(sample)
+
+    def extend(self, samples: Iterable[float]) -> None:
+        self._samples.extend(samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> Sequence[float]:
+        return tuple(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples")
+        return self.total / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples")
+        return min(self._samples)
+
+    @property
+    def maximum(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples")
+        return max(self._samples)
+
+    @property
+    def stdev(self) -> float:
+        """Population standard deviation (0.0 for a single sample)."""
+        if not self._samples:
+            raise ValueError("no samples")
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self._samples)
+                         / len(self._samples))
+
+    def percentile(self, q: float) -> float:
+        return percentile(self._samples, q)
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50)
+
+    def __repr__(self) -> str:
+        if not self._samples:
+            return "<SummaryStats empty>"
+        return (f"<SummaryStats n={self.count} mean={self.mean:.6g} "
+                f"min={self.minimum:.6g} max={self.maximum:.6g}>")

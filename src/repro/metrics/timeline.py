@@ -1,0 +1,69 @@
+"""Time-series and interval recording utilities."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class TimeSeries:
+    """A sequence of (time, value) samples with window aggregation."""
+
+    def __init__(self) -> None:
+        self._points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self._points and time < self._points[-1][0]:
+            raise ValueError("samples must be recorded in time order")
+        self._points.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> Tuple[Tuple[float, float], ...]:
+        return tuple(self._points)
+
+    def values_in(self, start: float, end: float) -> List[float]:
+        """Values of samples with start <= time < end."""
+        return [v for t, v in self._points if start <= t < end]
+
+    def rate(self, start: float, end: float) -> float:
+        """Sum of values in the window divided by its length (e.g. MB/s)."""
+        if end <= start:
+            raise ValueError("window must have positive length")
+        return sum(self.values_in(start, end)) / (end - start)
+
+
+class IntervalRecorder:
+    """Records named begin/end intervals (e.g. per-request service times)."""
+
+    def __init__(self) -> None:
+        self._open: dict = {}
+        self._closed: List[Tuple[str, float, float]] = []
+
+    def begin(self, key: str, time: float) -> None:
+        if key in self._open:
+            raise ValueError(f"interval {key!r} already open")
+        self._open[key] = time
+
+    def end(self, key: str, time: float) -> float:
+        """Close ``key``; returns the interval duration."""
+        try:
+            start = self._open.pop(key)
+        except KeyError:
+            raise ValueError(f"interval {key!r} is not open")
+        if time < start:
+            raise ValueError("interval ends before it starts")
+        self._closed.append((key, start, time))
+        return time - start
+
+    @property
+    def durations(self) -> List[float]:
+        return [end - start for _, start, end in self._closed]
+
+    def intervals(self) -> Tuple[Tuple[str, float, float], ...]:
+        return tuple(self._closed)
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)

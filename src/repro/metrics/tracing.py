@@ -1,0 +1,77 @@
+"""Structured event tracing for simulation debugging.
+
+A :class:`Tracer` is a bounded in-memory log of typed events.  The CPU
+scheduler emits dispatch/preempt/stacking events when a tracer is attached
+(``host.scheduler.tracer = Tracer()``); any component or test can record
+its own.  Rendering produces a chronological, grep-friendly text trace.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record."""
+    time: float
+    category: str
+    name: str
+    fields: Tuple[Tuple[str, Any], ...] = ()
+
+    def render(self) -> str:
+        details = " ".join(f"{key}={value}" for key, value in self.fields)
+        return f"[{self.time * 1e3:12.6f}ms] {self.category:10s} {self.name}" \
+               + (f" {details}" if details else "")
+
+
+class Tracer:
+    """A bounded, filterable event log."""
+
+    def __init__(self, capacity: int = 100_000,
+                 categories: Optional[Iterable[str]] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        #: None = trace everything; otherwise only these categories.
+        self.categories = set(categories) if categories is not None else None
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.recorded = 0
+
+    def wants(self, category: str) -> bool:
+        return self.categories is None or category in self.categories
+
+    def record(self, time: float, category: str, name: str,
+               **fields: Any) -> None:
+        if not self.wants(category):
+            return
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self.recorded += 1
+        self._events.append(TraceEvent(time, category, name,
+                                       tuple(sorted(fields.items()))))
+
+    def events(self, category: Optional[str] = None,
+               name: Optional[str] = None) -> List[TraceEvent]:
+        return [event for event in self._events
+                if (category is None or event.category == category)
+                and (name is None or event.name == name)]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def render(self, limit: Optional[int] = None) -> str:
+        events = list(self._events)
+        if limit is not None:
+            events = events[-limit:]
+        return "\n".join(event.render() for event in events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __repr__(self) -> str:
+        return (f"<Tracer events={len(self._events)} "
+                f"recorded={self.recorded} dropped={self.dropped}>")

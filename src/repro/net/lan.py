@@ -1,0 +1,85 @@
+"""The physical LAN: host NICs and the switched 10 GbE fabric.
+
+Transmission time is paid on the sending host's NIC (a serialized
+resource), plus a fixed one-way switching/propagation latency.  The
+receiving side's CPU costs are charged by the protocol layers (TCP or
+RDMA), not here — DMA puts the bytes in memory either way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.hostmodel.costs import CostModel
+from repro.sim import Resource, SimulationError, Simulator
+
+
+class HostNic:
+    """A host's physical NIC: a serialized transmit queue."""
+
+    def __init__(self, sim: Simulator, host, costs: CostModel):
+        self.sim = sim
+        self.host = host
+        self.costs = costs
+        self._tx = Resource(sim, capacity=1)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def transmit(self, nbytes: int):
+        """Generator: occupy the wire for ``nbytes`` (sender side)."""
+        if nbytes < 0:
+            raise ValueError(f"negative transmit size {nbytes}")
+        grant = yield self._tx.request()
+        try:
+            yield self.sim.timeout(
+                nbytes / self.costs.nic_bandwidth_bytes_per_sec)
+            self.bytes_sent += nbytes
+        finally:
+            self._tx.release(grant)
+
+    def __repr__(self) -> str:
+        return f"<HostNic {self.host.name} tx={self.bytes_sent}B>"
+
+
+class Lan:
+    """A switched LAN connecting physical hosts."""
+
+    def __init__(self, sim: Simulator, costs: Optional[CostModel] = None):
+        self.sim = sim
+        self.costs = costs or CostModel()
+        self._nics: Dict[str, HostNic] = {}
+
+    def attach(self, host) -> HostNic:
+        """Wire a host into the LAN, installing its NIC."""
+        if host.name in self._nics:
+            raise SimulationError(f"{host.name!r} is already attached")
+        nic = HostNic(self.sim, host, self.costs)
+        self._nics[host.name] = nic
+        host.nic = nic
+        return nic
+
+    def nic_of(self, host) -> HostNic:
+        try:
+            return self._nics[host.name]
+        except KeyError:
+            raise SimulationError(f"{host.name!r} is not attached to the LAN")
+
+    def same_host(self, host_a, host_b) -> bool:
+        return host_a is host_b
+
+    def transfer(self, src_host, dst_host, nbytes: int):
+        """Generator: move ``nbytes`` from one host to another on the wire.
+
+        Charges sender NIC occupancy plus the one-way LAN latency.  Intra-
+        host "transfers" are a modelling error — callers must special-case
+        co-located endpoints.
+        """
+        if src_host is dst_host:
+            raise SimulationError("transfer() called for co-located hosts")
+        nic = self.nic_of(src_host)
+        yield from nic.transmit(nbytes)
+        yield self.sim.timeout(self.costs.lan_latency)
+        self.nic_of(dst_host).bytes_received += nbytes
+
+    def __repr__(self) -> str:
+        return f"<Lan hosts={sorted(self._nics)}>"

@@ -1,0 +1,104 @@
+"""The simulator event loop.
+
+:class:`Simulator` owns the clock and the event heap.  Time is a float in
+**seconds**.  Ties are broken by insertion order, making runs fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event, SimulationError, Timeout
+from repro.sim.process import Process
+
+
+class Simulator:
+    """Discrete-event simulator: clock, event heap, and run loop."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+
+    # ----------------------------------------------------------------- clock
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------- factories
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator)
+
+    # ------------------------------------------------------------ scheduling
+    def _enqueue(self, delay: float, event: Event) -> None:
+        """Place a triggered event on the heap ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        self._seq += 1
+        heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def _step(self) -> None:
+        """Process the next event on the heap."""
+        when, _, event = heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    # ---------------------------------------------------------------- runner
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap empties, or until simulated time ``until``.
+
+        When ``until`` is given the clock is advanced exactly to it even if
+        no event fires at that instant.
+        """
+        if until is not None:
+            if until < self._now:
+                raise SimulationError(
+                    f"until={until} is in the past (now={self._now})")
+            while self._heap and self._heap[0][0] <= until:
+                self._step()
+            self._now = until
+            return
+        while self._heap:
+            self._step()
+
+    def run_until_complete(self, process: Process) -> Any:
+        """Run until ``process`` finishes; return its value (or re-raise)."""
+        while not process.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    "event heap exhausted before process completed (deadlock?)")
+            self._step()
+        if not process.ok:
+            process.defuse()
+            raise process._value
+        return process.value
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __repr__(self) -> str:
+        return f"<Simulator now={self._now} pending={len(self._heap)}>"

@@ -1,0 +1,112 @@
+"""Simulation processes.
+
+A :class:`Process` wraps a generator and drives it: every object the
+generator yields must be an :class:`~repro.sim.events.Event`; the process
+suspends until that event fires, then resumes with the event's value (or
+with the event's exception raised inside the generator).
+
+A process is itself an event that fires when the generator returns, with the
+generator's return value as the event value — so processes can wait on each
+other by yielding them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.events import Event, Interrupt, SimulationError
+
+
+class Process(Event):
+    """An event-yielding coroutine driven by the simulator."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator):  # noqa: F821
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process body must be a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        #: The event this process is currently waiting on (None if running).
+        self._target: Event = None
+        self.name = getattr(generator, "__name__", type(generator).__name__)
+        # Kick the process off via an immediately-scheduled initial event.
+        start = Event(sim)
+        start.callbacks.append(self._resume)
+        start.succeed(None)
+
+    # ------------------------------------------------------------------ flow
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not yet finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event (the event
+        still fires for other listeners).
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self!r}")
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defuse()
+        interrupt_event.callbacks.append(self._resume)
+        self.sim._enqueue(0.0, interrupt_event)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        # If we were interrupted while waiting on another event, detach from
+        # it so a later firing does not resume us twice.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                event.defuse()
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {result!r}")
+        if result.sim is not self.sim:
+            raise SimulationError(
+                f"process {self.name!r} yielded an event from another simulator")
+        self._target = result
+        if result.processed:
+            # Already fired: resume immediately (at the current instant) so
+            # yielding a processed event behaves like a zero-delay wait.
+            relay = Event(self.sim)
+            relay._ok = result._ok
+            relay._value = result._value
+            if not result._ok:
+                relay.defuse()
+            relay.callbacks.append(self._resume)
+            self.sim._enqueue(0.0, relay)
+            self._target = relay
+        else:
+            result.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        state = "finished" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,50 @@
+"""Storage substrate: SSD, page caches, filesystem, disk images, loop mounts.
+
+Layers (bottom up):
+
+* :class:`~repro.storage.disk.SsdDevice` — a bandwidth/latency device model.
+* :class:`~repro.storage.pagecache.PageCache` — LRU page cache; both the
+  host kernel and every guest kernel own one.  Cache hits skip device time
+  but still pay copy costs, which is exactly what makes the paper's re-read
+  results interesting.
+* :class:`~repro.storage.content.ByteSource` — real bytes
+  (:class:`~repro.storage.content.LiteralSource`) or deterministic generated
+  bytes (:class:`~repro.storage.content.PatternSource`), so tests verify
+  end-to-end data integrity while benchmarks use GB-scale files without
+  materializing them.
+* :class:`~repro.storage.filesystem.FileSystem` — an ext-like tree of
+  inodes/dentries with read/write/append, used for guest filesystems and the
+  host filesystem.
+* :class:`~repro.storage.image.DiskImage` — a VM's virtual disk: a file in
+  the host filesystem containing a guest filesystem.
+* :class:`~repro.storage.loopdev.LoopMount` — the hypervisor-side read-only
+  mount of a datanode VM's image (losetup/kpartx in the paper), with the
+  dentry-cache staleness + refresh semantics vRead relies on.
+"""
+
+from repro.storage.content import ByteSource, LiteralSource, PatternSource, ZeroSource
+from repro.storage.disk import SsdDevice
+from repro.storage.filesystem import (
+    FileHandle,
+    FileSystem,
+    FsError,
+    Inode,
+)
+from repro.storage.image import DiskImage
+from repro.storage.loopdev import LoopMount
+from repro.storage.pagecache import PageCache
+
+__all__ = [
+    "ByteSource",
+    "DiskImage",
+    "FileHandle",
+    "FileSystem",
+    "FsError",
+    "Inode",
+    "LiteralSource",
+    "LoopMount",
+    "PageCache",
+    "PatternSource",
+    "SsdDevice",
+    "ZeroSource",
+]

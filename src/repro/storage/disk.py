@@ -1,0 +1,66 @@
+"""SSD device model: a FIFO-served device with per-request latency and
+bandwidth-limited transfer time.
+
+The device itself burns no CPU — DMA moves the data; CPU costs of the
+layers above (virtio, page cache copies) are charged by those layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim import Resource, Simulator
+
+
+class SsdDevice:
+    """A single SSD with sequential bandwidth and fixed per-request latency."""
+
+    def __init__(self, sim: Simulator, costs=None, name: str = "ssd"):
+        # Imported here to keep repro.storage importable without touching
+        # repro.hostmodel's package __init__ (which imports storage back).
+        from repro.hostmodel.costs import CostModel
+
+        self.sim = sim
+        self.costs = costs or CostModel()
+        self.name = name
+        self._channel = Resource(sim, capacity=1)
+        #: Total bytes transferred (reads + writes), for reporting.
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.requests = 0
+
+    def _service_time(self, nbytes: int) -> float:
+        return (self.costs.ssd_request_latency
+                + nbytes / self.costs.ssd_bandwidth_bytes_per_sec)
+
+    def read(self, nbytes: int):
+        """Generator: occupy the device for a read of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative read size {nbytes}")
+        grant = yield self._channel.request()
+        try:
+            yield self.sim.timeout(self._service_time(nbytes))
+            self.bytes_read += nbytes
+            self.requests += 1
+        finally:
+            self._channel.release(grant)
+
+    def write(self, nbytes: int):
+        """Generator: occupy the device for a write of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative write size {nbytes}")
+        grant = yield self._channel.request()
+        try:
+            yield self.sim.timeout(self._service_time(nbytes))
+            self.bytes_written += nbytes
+            self.requests += 1
+        finally:
+            self._channel.release(grant)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._channel.queue_length
+
+    def __repr__(self) -> str:
+        return (f"<SsdDevice {self.name} read={self.bytes_read}B "
+                f"written={self.bytes_written}B reqs={self.requests}>")

@@ -1,0 +1,100 @@
+"""LRU page cache model.
+
+Both the host kernel and every guest kernel own a page cache.  The cache
+tracks which (object, page) pairs are resident; it does not store bytes
+(bytes live in the filesystem's content sources) — residency is what
+determines whether a read pays device time.
+
+"Read without cache" experiments call :meth:`drop` (the paper clears the
+guest disk buffer and disables the hypervisor's virtual-disk cache);
+"re-read" experiments leave the cache warm.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, List, Tuple
+
+PAGE_SIZE = 4096
+
+
+class PageCache:
+    """LRU cache of 4 KiB pages keyed by (object key, page index)."""
+
+    def __init__(self, capacity_bytes: float = float("inf"),
+                 name: str = "pagecache"):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity_pages = (float("inf") if capacity_bytes == float("inf")
+                               else max(1, int(capacity_bytes // PAGE_SIZE)))
+        self._pages: "OrderedDict[Tuple[Hashable, int], None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ---------------------------------------------------------------- sizing
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._pages) * PAGE_SIZE
+
+    # ----------------------------------------------------------------- pages
+    @staticmethod
+    def page_span(offset: int, length: int) -> range:
+        """Page indices covering [offset, offset+length)."""
+        if length <= 0:
+            return range(0)
+        first = offset // PAGE_SIZE
+        last = (offset + length - 1) // PAGE_SIZE
+        return range(first, last + 1)
+
+    def missing_bytes(self, key: Hashable, offset: int, length: int) -> int:
+        """Bytes in the range whose pages are NOT resident (device I/O need).
+
+        Also counts hits/misses and refreshes LRU position of resident pages.
+        """
+        missing_pages = 0
+        for page in self.page_span(offset, length):
+            if (key, page) in self._pages:
+                self._pages.move_to_end((key, page))
+                self.hits += 1
+            else:
+                missing_pages += 1
+                self.misses += 1
+        return missing_pages * PAGE_SIZE
+
+    def contains(self, key: Hashable, offset: int, length: int) -> bool:
+        """True if every page of the range is resident (no LRU side effects)."""
+        return all((key, page) in self._pages
+                   for page in self.page_span(offset, length))
+
+    def insert(self, key: Hashable, offset: int, length: int) -> None:
+        """Mark the pages of the range resident, evicting LRU pages if needed."""
+        for page in self.page_span(offset, length):
+            entry = (key, page)
+            if entry in self._pages:
+                self._pages.move_to_end(entry)
+            else:
+                self._pages[entry] = None
+                if len(self._pages) > self.capacity_pages:
+                    self._pages.popitem(last=False)
+                    self.evictions += 1
+
+    def invalidate(self, key: Hashable) -> int:
+        """Drop all pages of one object; returns pages dropped."""
+        stale = [entry for entry in self._pages if entry[0] == key]
+        for entry in stale:
+            del self._pages[entry]
+        return len(stale)
+
+    def drop(self) -> None:
+        """Drop everything (echo 3 > /proc/sys/vm/drop_caches)."""
+        self._pages.clear()
+
+    def __repr__(self) -> str:
+        return (f"<PageCache {self.name} pages={self.resident_pages} "
+                f"hits={self.hits} misses={self.misses}>")

@@ -1,0 +1,20 @@
+"""Virtualization layer: VMs, virtio-blk, ivshmem shared rings, eventfds.
+
+A :class:`~repro.virt.vm.VirtualMachine` bundles the schedulable threads KVM
+gives a guest — the vCPU thread, the vhost-net thread, and the qemu I/O
+thread for virtio-blk — plus the guest kernel's page cache and filesystem
+(carried by its :class:`~repro.storage.image.DiskImage`).
+
+:mod:`repro.virt.ivshmem` and :mod:`repro.virt.eventfd` provide the
+POSIX-SHM ring buffer and the eventfd signalling that vRead's guest<->host
+channel is built on (paper Section 3.3).
+"""
+
+from repro.virt.eventfd import EventFd
+from repro.virt.ivshmem import SharedRing
+from repro.virt.migration import migrate_vm
+from repro.virt.virtio_blk import VirtioBlk
+from repro.virt.vm import VirtualMachine
+
+__all__ = ["EventFd", "SharedRing", "VirtioBlk", "VirtualMachine",
+           "migrate_vm"]

@@ -1,0 +1,57 @@
+"""VM live migration (paper Section 6, "Compatibility with VM Migration").
+
+The paper's argument: images live on shared storage (NFS/iSCSI), so after a
+migration the hypervisors just update their vRead hash tables.  This module
+provides the mechanics: pre-copy the VM's RAM over the LAN, a short
+stop-and-copy downtime, then re-home the VM's threads onto the destination
+host's scheduler.  The disk image object is shared storage already, so it
+moves by reference.
+
+vRead integration: call
+:meth:`repro.core.manager.VReadManager.rebind_datanode` after migrating a
+datanode VM — local/remote entries and mounts are recomputed on every host.
+"""
+
+from __future__ import annotations
+
+from repro.hostmodel.host import PhysicalHost
+from repro.virt.vm import VirtualMachine
+
+#: Default guest RAM to pre-copy (the paper's VMs have 2 GB).
+DEFAULT_RAM_BYTES = 2 << 30
+
+#: Fraction of RAM re-sent due to dirtying during pre-copy rounds.
+DIRTY_RESEND_FACTOR = 0.15
+
+#: Stop-and-copy downtime (final dirty set + device state + switchover).
+DEFAULT_DOWNTIME_SECONDS = 0.03
+
+
+def migrate_vm(vm: VirtualMachine, target_host: PhysicalHost, lan,
+               ram_bytes: int = DEFAULT_RAM_BYTES,
+               downtime_seconds: float = DEFAULT_DOWNTIME_SECONDS):
+    """Generator: live-migrate ``vm`` to ``target_host``.
+
+    Timing: RAM (plus dirty-page resend) crosses the LAN at NIC speed, then
+    the VM pauses for ``downtime_seconds``.  Afterwards the VM's vCPU,
+    vhost-net and qemu-io threads are fresh entities on the destination
+    scheduler; in-flight references through ``vm.vcpu``/``vm.vhost`` resolve
+    to the new threads on next use.
+
+    Guest page-cache contents travel with the RAM; the *host* page cache of
+    the source stays behind (cold on the destination), matching reality.
+    """
+    source_host = vm.host
+    if target_host is source_host:
+        raise ValueError(f"{vm.name} is already on {target_host.name}")
+    total = int(ram_bytes * (1 + DIRTY_RESEND_FACTOR))
+    yield from lan.transfer(source_host, target_host, total)
+    yield vm.sim.timeout(downtime_seconds)
+
+    source_host.vms.remove(vm)
+    vm.host = target_host
+    target_host.vms.append(vm)
+    vm.vcpu = target_host.scheduler.thread(f"{vm.name}.vcpu")
+    vm.vhost = target_host.scheduler.thread(f"{vm.name}.vhost-net")
+    vm.qemu_io = target_host.scheduler.thread(f"{vm.name}.qemu-io")
+    return vm

@@ -1,0 +1,41 @@
+"""Workloads: the benchmarks and applications the paper evaluates with.
+
+* :mod:`repro.workloads.lookbusy` — the lookbusy CPU-load generator used as
+  background VM load (85% in the paper).
+* :mod:`repro.workloads.netperf` — netperf TCP_RR between two VMs (Fig 3).
+* :mod:`repro.workloads.filereader` — the "simple Java application" used
+  for the data-access-delay microbenchmarks (Figs 2 and 9).
+* :mod:`repro.workloads.mapreduce` — a mini MapReduce engine over HDFS.
+* :mod:`repro.workloads.testdfsio` — TestDFSIO read/re-read/write
+  (Figs 11, 12, 13).
+* :mod:`repro.workloads.hbase` — an HBase-like store (Table 2).
+* :mod:`repro.workloads.hive` — a Hive-like SQL scan (Table 3).
+* :mod:`repro.workloads.sqoop` — a Sqoop-like export to MySQL (Table 3).
+"""
+
+from repro.workloads.filereader import FileReadBenchmark
+from repro.workloads.hbase import HBaseOpResult, HBaseTable
+from repro.workloads.hive import HiveTable, QueryResult
+from repro.workloads.lookbusy import Lookbusy
+from repro.workloads.mapreduce import MapSpec, MiniMapReduce, TaskResult
+from repro.workloads.netperf import NetperfRR
+from repro.workloads.sqoop import ExportResult, MySqlServer, SqoopExport
+from repro.workloads.testdfsio import DfsioResult, TestDfsio
+
+__all__ = [
+    "DfsioResult",
+    "ExportResult",
+    "FileReadBenchmark",
+    "HBaseOpResult",
+    "HBaseTable",
+    "HiveTable",
+    "Lookbusy",
+    "MapSpec",
+    "MiniMapReduce",
+    "MySqlServer",
+    "NetperfRR",
+    "QueryResult",
+    "SqoopExport",
+    "TaskResult",
+    "TestDfsio",
+]

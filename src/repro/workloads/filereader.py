@@ -1,0 +1,64 @@
+"""The "simple Java application" of the delay microbenchmarks (Figs 2, 9).
+
+Reads a file either from the VM's local filesystem (the baseline in Fig 2)
+or from HDFS (vanilla or vRead client), with a configurable request size,
+recording the delay of every request.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.metrics.accounting import CLIENT_APPLICATION
+from repro.metrics.stats import SummaryStats
+
+
+class FileReadBenchmark:
+    """Per-request read-delay measurement over local-FS or HDFS files."""
+
+    def __init__(self, request_bytes: int):
+        if request_bytes <= 0:
+            raise ValueError(f"request size must be positive: {request_bytes}")
+        self.request_bytes = request_bytes
+        self.delays = SummaryStats()
+
+    # -------------------------------------------------------------- local FS
+    def read_local(self, vm, path: str):
+        """Generator: read ``path`` from the VM's own filesystem.
+
+        The baseline of Figure 2: only the disk->guest-kernel and
+        kernel->application copies are involved.
+        """
+        sim = vm.sim
+        size = vm.guest_fs.size(path)
+        offset = 0
+        while offset < size:
+            length = min(self.request_bytes, size - offset)
+            start = sim.now
+            yield from vm.read_file(path, offset, length,
+                                    copy_category=CLIENT_APPLICATION)
+            self.delays.add(sim.now - start)
+            offset += length
+        return self.delays
+
+    # ------------------------------------------------------------------ HDFS
+    def read_hdfs(self, client, path: str):
+        """Generator: read ``path`` through an HDFS client (vanilla/vRead)."""
+        sim = client.vm.sim
+        stream = yield from client.open(path)
+        while True:
+            start = sim.now
+            piece = yield from stream.read(self.request_bytes)
+            if piece is None:
+                break
+            self.delays.add(sim.now - start)
+        stream.close()
+        return self.delays
+
+    @property
+    def mean_delay(self) -> float:
+        return self.delays.mean
+
+    def __repr__(self) -> str:
+        return (f"<FileReadBenchmark req={self.request_bytes}B "
+                f"n={self.delays.count}>")

@@ -1,0 +1,128 @@
+"""A YCSB-like workload generator over the HBase-like store.
+
+Implements the core of the Yahoo! Cloud Serving Benchmark that matters for
+a data-path study: configurable read/scan mixes over uniform or zipfian key
+distributions.  Zipfian skew concentrates requests on hot rows, which makes
+cache behaviour — and therefore vRead's host-page-cache synergy — visible
+in a way uniform traffic hides.
+
+Workload presets follow YCSB's letters where they are read-only (the store
+is write-once): C (100% reads) and E (95% scans / 5% reads).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.workloads.hbase import HBaseTable
+
+
+class ZipfianGenerator:
+    """Zipf-distributed integers in [0, n) (YCSB's constant, theta=0.99).
+
+    Uses the exact CDF (fine for the table sizes simulated here); sampling
+    is O(log n) by bisection.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99,
+                 rng: Optional[random.Random] = None):
+        if n < 1:
+            raise ValueError(f"need at least one item: {n}")
+        if not 0 < theta < 1:
+            raise ValueError(f"theta must be in (0, 1): {theta}")
+        self.n = n
+        self.theta = theta
+        self.rng = rng or random.Random(0)
+        weights = [1.0 / (i + 1) ** theta for i in range(n)]
+        total = 0.0
+        self._cdf: List[float] = []
+        for weight in weights:
+            total += weight
+            self._cdf.append(total)
+        self._total = total
+
+    def next(self) -> int:
+        """Sample one rank (0 = hottest)."""
+        point = self.rng.random() * self._total
+        return bisect.bisect_left(self._cdf, point)
+
+    def hot_fraction(self, top_k: int) -> float:
+        """Probability mass of the hottest ``top_k`` items."""
+        if top_k <= 0:
+            return 0.0
+        return self._cdf[min(top_k, self.n) - 1] / self._total
+
+
+@dataclass
+class YcsbResult:
+    operations: int
+    reads: int
+    scans: int
+    bytes_read: int
+    elapsed_seconds: float
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.operations / self.elapsed_seconds
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.bytes_read / 1e6 / self.elapsed_seconds
+
+
+class YcsbWorkload:
+    """Drive a read/scan mix against an :class:`HBaseTable`."""
+
+    def __init__(self, table: HBaseTable, distribution: str = "zipfian",
+                 read_fraction: float = 1.0, scan_rows: int = 50,
+                 theta: float = 0.99, seed: int = 0):
+        if not 0 <= read_fraction <= 1:
+            raise ValueError(f"read_fraction must be in [0,1]: {read_fraction}")
+        if distribution not in ("zipfian", "uniform"):
+            raise ValueError(f"unknown distribution {distribution!r}")
+        if table.n_rows == 0:
+            raise ValueError("table is empty — load it first")
+        self.table = table
+        self.read_fraction = read_fraction
+        self.scan_rows = scan_rows
+        self.rng = random.Random(seed)
+        if distribution == "zipfian":
+            self._keygen = ZipfianGenerator(table.n_rows, theta,
+                                            random.Random(seed + 1))
+            self.next_key = self._keygen.next
+        else:
+            self.next_key = lambda: self.rng.randrange(table.n_rows)
+
+    def run(self, operations: int) -> "YcsbResult":
+        """Generator: execute ``operations`` ops; returns a YcsbResult."""
+        if operations < 1:
+            raise ValueError(f"need at least one operation: {operations}")
+        table = self.table
+        sim = table.client.vm.sim
+        start = sim.now
+        reads = scans = 0
+        bytes_read = 0
+        for _ in range(operations):
+            key = self.next_key()
+            if self.rng.random() < self.read_fraction:
+                bytes_read += yield from table._get(
+                    key, table.get_cycles_per_row)
+                reads += 1
+            else:
+                # Scan forward from the key, clamped to the table end.
+                rows = min(self.scan_rows, table.n_rows - key)
+                region, offset = table._locate(key)
+                stream = yield from table._stream(region)
+                piece = yield from stream.pread(
+                    offset, rows * table.row_bytes)
+                bytes_read += piece.size
+                yield from table.client.vm.vcpu.run(
+                    table.scan_cycles_per_row * rows,
+                    "client-application")
+                scans += 1
+        return YcsbResult(operations, reads, scans, bytes_read,
+                          sim.now - start)

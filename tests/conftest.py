@@ -1,0 +1,94 @@
+"""Shared test fixtures: minimal virtualized testbeds."""
+
+import pytest
+
+from repro.hostmodel import PhysicalHost
+from repro.hostmodel.costs import CostModel
+from repro.net.lan import Lan
+from repro.net.rdma import RdmaLink
+from repro.net.tcp import VmNetwork
+from repro.sim import Simulator
+from repro.virt.vm import VirtualMachine
+
+
+class Testbed:
+    """A small simulated testbed: hosts on a LAN, VMs, TCP and RDMA."""
+
+    __test__ = False  # not a pytest test class
+
+    def __init__(self, n_hosts=2, vms_per_host=2, cores=4,
+                 frequency_hz=2.0e9, costs=None):
+        self.sim = Simulator()
+        self.costs = costs or CostModel()
+        self.lan = Lan(self.sim, self.costs)
+        self.network = VmNetwork(self.sim, self.lan, self.costs)
+        self.rdma = RdmaLink(self.sim, self.lan, self.costs)
+        self.hosts = []
+        self.vms = []
+        for h in range(n_hosts):
+            host = PhysicalHost(self.sim, f"host{h + 1}", cores=cores,
+                                frequency_hz=frequency_hz, costs=self.costs)
+            self.lan.attach(host)
+            self.hosts.append(host)
+            for v in range(vms_per_host):
+                vm = VirtualMachine(host, f"vm{h + 1}-{v + 1}")
+                self.vms.append(vm)
+
+    def run(self, process):
+        """Run the sim until ``process`` completes; return its value."""
+        return self.sim.run_until_complete(process)
+
+
+class HadoopBed(Testbed):
+    """The paper's Figure 10 topology: client+namenode VM and a co-located
+    datanode VM on host1, a second datanode VM on host2."""
+
+    def __init__(self, block_size=256 * 1024, replication=1, **kwargs):
+        from repro.hdfs import Datanode, DfsClient, HdfsConfig, Namenode
+
+        super().__init__(n_hosts=2, vms_per_host=2, **kwargs)
+        self.client_vm = self.vms[0]        # host1
+        self.datanode1_vm = self.vms[1]     # host1 (co-located)
+        self.datanode2_vm = self.vms[2]     # host2 (remote)
+        self.config = HdfsConfig(block_size=block_size,
+                                 replication=replication)
+        self.namenode = Namenode(self.config, vm=self.client_vm)
+        self.datanode1 = Datanode("dn1", self.datanode1_vm, self.namenode,
+                                  self.network)
+        self.datanode2 = Datanode("dn2", self.datanode2_vm, self.namenode,
+                                  self.network)
+        self.client = DfsClient(self.client_vm, self.namenode, self.network)
+
+
+@pytest.fixture
+def testbed():
+    return Testbed()
+
+
+class VReadBed(HadoopBed):
+    """HadoopBed plus vRead installed (RDMA transport by default)."""
+
+    def __init__(self, transport="rdma", bypass_host_fs=False, **kwargs):
+        from repro.core import VReadManager
+
+        super().__init__(**kwargs)
+        self.manager = VReadManager(self.namenode, self.network, self.lan,
+                                    rdma_link=self.rdma, transport=transport,
+                                    bypass_host_fs=bypass_host_fs)
+        self.vread_client = self.manager.attach_client(self.client_vm)
+
+
+@pytest.fixture
+def hadoop_bed():
+    return HadoopBed()
+
+
+@pytest.fixture
+def vread_bed():
+    return VReadBed()
+
+
+
+@pytest.fixture
+def single_host_bed():
+    return Testbed(n_hosts=1, vms_per_host=2)

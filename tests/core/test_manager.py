@@ -1,0 +1,109 @@
+"""Tests for the VReadManager deployment logic."""
+
+import pytest
+
+from repro.core import VReadManager
+
+
+def test_transport_validation(hadoop_bed):
+    with pytest.raises(ValueError, match="transport"):
+        VReadManager(hadoop_bed.namenode, hadoop_bed.network, hadoop_bed.lan,
+                     rdma_link=hadoop_bed.rdma, transport="carrier-pigeon")
+    with pytest.raises(ValueError, match="RdmaLink"):
+        VReadManager(hadoop_bed.namenode, hadoop_bed.network, hadoop_bed.lan,
+                     rdma_link=None, transport="rdma")
+
+
+def test_tcp_transport_needs_no_rdma_link(hadoop_bed):
+    manager = VReadManager(hadoop_bed.namenode, hadoop_bed.network,
+                           hadoop_bed.lan, transport="tcp")
+    assert manager.transport_mode == "tcp"
+
+
+def test_services_created_per_datanode_host(vread_bed):
+    manager = vread_bed.manager
+    service1 = manager.service_for(vread_bed.hosts[0])
+    service2 = manager.service_for(vread_bed.hosts[1])
+    assert service1 is not service2
+    assert service1.is_local("dn1") and not service1.is_local("dn2")
+    assert service2.is_local("dn2") and not service2.is_local("dn1")
+
+
+def test_service_for_is_idempotent(vread_bed):
+    manager = vread_bed.manager
+    assert manager.service_for(vread_bed.hosts[0]) is \
+        manager.service_for(vread_bed.hosts[0])
+
+
+def test_images_mounted_on_owning_hosts(vread_bed):
+    assert vread_bed.datanode1_vm.image.name in vread_bed.hosts[0].mounts
+    assert vread_bed.datanode2_vm.image.name in vread_bed.hosts[1].mounts
+    # And not cross-mounted.
+    assert vread_bed.datanode2_vm.image.name not in vread_bed.hosts[0].mounts
+
+
+def test_attach_client_reuses_library(vread_bed):
+    first = vread_bed.manager.attach_client(vread_bed.client_vm)
+    second = vread_bed.manager.attach_client(vread_bed.client_vm)
+    assert first.library is second.library
+    assert vread_bed.manager.library_of(vread_bed.client_vm) is first.library
+    assert vread_bed.manager.daemon_of(vread_bed.client_vm) is not None
+
+
+def test_attach_client_on_second_host(vread_bed):
+    """A client VM on host2 gets its own channel/daemon and local reads
+    from dn2 work without the network."""
+    from repro.virt.vm import VirtualMachine
+    from repro.storage.content import PatternSource
+
+    bed = vread_bed
+    other_client_vm = VirtualMachine(bed.hosts[1], "client2")
+    other_client = bed.manager.attach_client(other_client_vm)
+    payload = PatternSource(100 * 1024, seed=8)
+
+    def load():
+        yield from bed.client.write_file("/f2", payload, favored=["dn2"])
+
+    bed.run(bed.sim.process(load()))
+    bed.sim.run()
+    sent_before = bed.lan.nic_of(bed.hosts[1]).bytes_sent
+
+    def read():
+        source = yield from other_client.read_file("/f2", 64 * 1024)
+        return source
+
+    got = bed.run(bed.sim.process(read()))
+    assert got.checksum() == payload.checksum()
+    # dn2 is local to host2's client: nothing crossed the wire.
+    assert bed.lan.nic_of(bed.hosts[1]).bytes_sent - sent_before < 10_000
+
+
+def test_unregister_datanode_unmounts(vread_bed):
+    service = vread_bed.manager.service_for(vread_bed.hosts[0])
+    service.unregister_datanode("dn1")
+    assert service.lookup("dn1") is None
+    assert vread_bed.datanode1_vm.image.name not in vread_bed.hosts[0].mounts
+    # Unregistering twice is harmless.
+    service.unregister_datanode("dn1")
+
+
+def test_ring_geometry_flows_to_channels(hadoop_bed):
+    manager = VReadManager(hadoop_bed.namenode, hadoop_bed.network,
+                           hadoop_bed.lan, rdma_link=hadoop_bed.rdma,
+                           ring_slots=64, ring_slot_bytes=8192,
+                           channel_chunk_bytes=128 * 1024)
+    manager.attach_client(hadoop_bed.client_vm)
+    library = manager.library_of(hadoop_bed.client_vm)
+    ring = library.channel.response_ring
+    assert ring.slots == 64 and ring.slot_bytes == 8192
+    assert library.channel.chunk_bytes == 128 * 1024
+
+
+def test_chunk_clamped_to_ring_capacity(hadoop_bed):
+    manager = VReadManager(hadoop_bed.namenode, hadoop_bed.network,
+                           hadoop_bed.lan, rdma_link=hadoop_bed.rdma,
+                           ring_slots=16, ring_slot_bytes=4096,
+                           channel_chunk_bytes=1 << 20)
+    manager.attach_client(hadoop_bed.client_vm)
+    library = manager.library_of(hadoop_bed.client_vm)
+    assert library.channel.chunk_bytes == 16 * 4096

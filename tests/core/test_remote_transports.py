@@ -1,0 +1,136 @@
+"""Unit tests for the remote daemon transports (RDMA & TCP conduits)."""
+
+import pytest
+
+from repro.core.daemon import VReadHostService
+from repro.core.remote import (
+    RdmaTransport,
+    RemoteRequest,
+    RemoteResponse,
+    TcpTransport,
+)
+from repro.metrics.accounting import RDMA, VREAD_NET
+
+
+def make_services(bed, transport_cls, **kwargs):
+    service1 = VReadHostService(bed.hosts[0], bed.lan)
+    service2 = VReadHostService(bed.hosts[1], bed.lan)
+    if transport_cls is RdmaTransport:
+        service1.transport = RdmaTransport(service1, bed.rdma)
+        service2.transport = RdmaTransport(service2, bed.rdma)
+    else:
+        service1.transport = TcpTransport(service1)
+        service2.transport = TcpTransport(service2)
+    return service1, service2
+
+
+def plant_block(bed, service, datanode_vm, name, data):
+    datanode_vm.guest_fs.mkdir(service.data_dir, parents=True)
+    datanode_vm.guest_fs.create(f"{service.data_dir}/{name}", data)
+
+
+@pytest.mark.parametrize("transport_cls", [RdmaTransport, TcpTransport])
+def test_remote_open_and_read(testbed, transport_cls):
+    bed = testbed
+    service1, service2 = make_services(bed, transport_cls)
+    dn_vm = bed.vms[2]  # on host2
+    plant_block(bed, service2, dn_vm, "blk_1", b"remote-bytes" * 10)
+    service2.register_local_datanode("dnX", dn_vm.image)
+    service1.register_remote_datanode("dnX", service2)
+
+    def proc():
+        open_response = yield from service1.transport.request(
+            service2, RemoteRequest("open", "dnX", "blk_1"))
+        read_response = yield from service1.transport.request(
+            service2, RemoteRequest("read", "dnX", "blk_1", 12, 24))
+        return open_response, read_response
+
+    open_response, read_response = bed.run(bed.sim.process(proc()))
+    assert open_response.ok and open_response.size == 120
+    assert read_response.ok
+    assert read_response.payload.read(0, 24) == (b"remote-bytes" * 10)[12:36]
+
+
+@pytest.mark.parametrize("transport_cls", [RdmaTransport, TcpTransport])
+def test_remote_missing_block(testbed, transport_cls):
+    bed = testbed
+    service1, service2 = make_services(bed, transport_cls)
+    dn_vm = bed.vms[2]
+    plant_block(bed, service2, dn_vm, "blk_other", b"x")
+    service2.register_local_datanode("dnX", dn_vm.image)
+    service1.register_remote_datanode("dnX", service2)
+
+    def proc():
+        return (yield from service1.transport.request(
+            service2, RemoteRequest("open", "dnX", "blk_404")))
+
+    response = bed.run(bed.sim.process(proc()))
+    assert not response.ok
+
+
+def test_bad_remote_request_kind(testbed):
+    bed = testbed
+    service1, service2 = make_services(bed, TcpTransport)
+
+    def proc():
+        return (yield from service1.transport.request(
+            service2, RemoteRequest("format-disk", "dnX", "blk_1")))
+
+    response = bed.run(bed.sim.process(proc()))
+    assert not response.ok
+    assert "bad remote request" in response.message
+
+
+def test_conduits_are_cached_per_peer(testbed):
+    bed = testbed
+    service1, service2 = make_services(bed, TcpTransport)
+    conduit_a, lock_a = service1.transport._conduit_to(service2)
+    conduit_b, lock_b = service1.transport._conduit_to(service2)
+    assert conduit_a is conduit_b and lock_a is lock_b
+
+
+def test_requests_serialize_per_peer(testbed):
+    """Two concurrent requesters share one conduit; responses must not
+    cross over."""
+    bed = testbed
+    service1, service2 = make_services(bed, TcpTransport)
+    dn_vm = bed.vms[2]
+    plant_block(bed, service2, dn_vm, "blk_a", b"A" * 100)
+    plant_block(bed, service2, dn_vm, "blk_b", b"B" * 100)
+    service2.register_local_datanode("dnX", dn_vm.image)
+    service1.register_remote_datanode("dnX", service2)
+    results = {}
+
+    def requester(name):
+        response = yield from service1.transport.request(
+            service2, RemoteRequest("read", "dnX", name, 0, 100))
+        results[name] = response.payload.read(0, 100)
+
+    proc_a = bed.sim.process(requester("blk_a"))
+    proc_b = bed.sim.process(requester("blk_b"))
+    bed.run(proc_a)
+    bed.run(proc_b)
+    assert results["blk_a"] == b"A" * 100
+    assert results["blk_b"] == b"B" * 100
+
+
+def test_transport_categories(testbed):
+    bed = testbed
+    for transport_cls, category in ((RdmaTransport, RDMA),
+                                    (TcpTransport, VREAD_NET)):
+        service1, service2 = make_services(bed, transport_cls)
+        dn_vm = bed.vms[2]
+        block_name = f"blk_{category.replace('-', '_')}"
+        plant_block(bed, service2, dn_vm, block_name, b"z" * 50_000)
+        dn_id = f"dn_{category}"
+        service2.register_local_datanode(dn_id, dn_vm.image)
+        service1.register_remote_datanode(dn_id, service2)
+        mark = bed.hosts[1].accounting.snapshot()
+
+        def proc():
+            yield from service1.transport.request(
+                service2, RemoteRequest("read", dn_id, block_name, 0, 50_000))
+
+        bed.run(bed.sim.process(proc()))
+        window = bed.hosts[1].accounting.since(mark).by_category()
+        assert window.get(category, 0) > 0

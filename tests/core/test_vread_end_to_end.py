@@ -1,0 +1,240 @@
+"""End-to-end vRead tests: shortcut reads, fallback, remote reads, updates."""
+
+import pytest
+
+from repro.metrics.accounting import COPY_VREAD_BUFFER, VHOST_NET
+from repro.storage.content import PatternSource
+
+
+def write(bed, path, data, **kwargs):
+    def proc():
+        yield from bed.client.write_file(path, data, **kwargs)
+
+    bed.run(bed.sim.process(proc()))
+    bed.sim.run()  # let mount refreshes complete
+
+
+def vread_read_all(bed, path, request_bytes=64 * 1024):
+    def proc():
+        source = yield from bed.vread_client.read_file(path, request_bytes)
+        return source
+
+    return bed.run(bed.sim.process(proc()))
+
+
+def open_stream(bed, path):
+    def proc():
+        stream = yield from bed.vread_client.open(path)
+        return stream
+
+    stream = bed.run(bed.sim.process(proc()))
+    return stream
+
+
+def test_colocated_vread_roundtrip(vread_bed):
+    payload = PatternSource(300 * 1024, seed=1)
+    write(vread_bed, "/f", payload, favored=["dn1"])
+    got = vread_read_all(vread_bed, "/f")
+    assert got.size == payload.size
+    assert got.checksum() == payload.checksum()
+    library = vread_bed.manager.library_of(vread_bed.client_vm)
+    assert library.reads > 0
+    assert library.fallback_denials == 0
+
+
+def test_vread_bypasses_datanode_process(vread_bed):
+    bed = vread_bed
+    write(bed, "/f", PatternSource(256 * 1024, seed=2), favored=["dn1"])
+    served_before = bed.datanode1.blocks_served
+    vread_read_all(bed, "/f")
+    # The datanode process never saw the read.
+    assert bed.datanode1.blocks_served == served_before
+
+
+def test_vread_skips_vhost_for_colocated_reads(vread_bed):
+    bed = vread_bed
+    write(bed, "/f", PatternSource(256 * 1024, seed=3), favored=["dn1"])
+    mark = bed.hosts[0].accounting.snapshot()
+    vread_read_all(bed, "/f")
+    window = bed.hosts[0].accounting.since(mark).by_category()
+    assert window.get(VHOST_NET, 0) == 0
+    assert window.get(COPY_VREAD_BUFFER, 0) > 0
+
+
+def test_remote_vread_over_rdma(vread_bed):
+    bed = vread_bed
+    payload = PatternSource(300 * 1024, seed=4)
+    write(bed, "/remote", payload, favored=["dn2"])
+    got = vread_read_all(bed, "/remote")
+    assert got.checksum() == payload.checksum()
+    library = bed.manager.library_of(bed.client_vm)
+    assert library.reads > 0 and library.fallback_denials == 0
+    # Data crossed the wire from host2.
+    assert bed.lan.nic_of(bed.hosts[1]).bytes_sent >= payload.size
+
+
+def test_remote_vread_over_tcp_transport():
+    from tests.conftest import VReadBed
+
+    bed = VReadBed(transport="tcp")
+    payload = PatternSource(200 * 1024, seed=5)
+    write(bed, "/remote", payload, favored=["dn2"])
+    got = vread_read_all(bed, "/remote")
+    assert got.checksum() == payload.checksum()
+    assert bed.manager.library_of(bed.client_vm).reads > 0
+
+
+def test_hybrid_read_mixes_local_and_remote(vread_bed):
+    bed = vread_bed
+    payload = PatternSource(512 * 1024, seed=6)  # exactly 2 blocks
+
+    def proc():
+        stream = yield from bed.client.create("/hybrid", spread=True)
+        yield from stream.write(payload)
+        yield from stream.close()
+
+    bed.run(bed.sim.process(proc()))
+    bed.sim.run()
+    blocks = bed.namenode.get_blocks("/hybrid")
+    locations = [block.locations[0] for block in blocks]
+    # Round-robin placement puts blocks on both datanodes.
+    assert set(locations) == {"dn1", "dn2"}
+    got = vread_read_all(bed, "/hybrid")
+    assert got.checksum() == payload.checksum()
+    assert bed.manager.library_of(bed.client_vm).fallback_denials == 0
+
+
+def test_stale_mount_falls_back_to_vanilla(vread_bed):
+    bed = vread_bed
+    # Plant a block file + metadata *without* the commit notification, so
+    # the mount's dentry cache has never seen it.
+    bed.namenode.create_file("/sneaky")
+    block = bed.namenode.allocate_block("/sneaky", bed.client_vm,
+                                        favored=["dn1"])
+    path = bed.datanode1.block_path(block.name)
+    bed.datanode1_vm.guest_fs.create(path, b"hidden" * 100)
+    block.size = 600
+    block.committed = True  # bypass commit_block => no observer refresh
+    bed.namenode.file("/sneaky").complete = True
+
+    got = vread_read_all(bed, "/sneaky")
+    assert got.read(0, got.size) == b"hidden" * 100
+    library = bed.manager.library_of(bed.client_vm)
+    assert library.fallback_denials > 0          # open returned null
+    # And the datanode process served it the vanilla way.
+    assert bed.datanode1.blocks_served > 0
+
+
+def test_commit_notification_makes_new_blocks_visible(vread_bed):
+    bed = vread_bed
+    service = bed.manager.service_for(bed.hosts[0])
+    refreshes_before = service.refreshes
+    write(bed, "/f", b"x" * 1000, favored=["dn1"])
+    assert service.refreshes > refreshes_before
+    mount = bed.hosts[0].mounts[bed.datanode1_vm.image.name]
+    block = bed.namenode.get_blocks("/f")[0]
+    assert mount.exists(bed.datanode1.block_path(block.name))
+
+
+def test_vread_update_api_refreshes(vread_bed):
+    bed = vread_bed
+    library = bed.manager.library_of(bed.client_vm)
+    # Create a file invisible to the mount, then vread_update to reveal it.
+    path = f"{bed.config.data_dir}/blk_9999"
+    bed.datanode1_vm.guest_fs.create(path, b"late block")
+
+    def proc():
+        yield from library.vread_update("blk_9999", "dn1")
+
+    bed.run(bed.sim.process(proc()))
+    bed.sim.run()
+    mount = bed.hosts[0].mounts[bed.datanode1_vm.image.name]
+    assert mount.exists(path)
+
+
+def test_unknown_datanode_open_returns_none(vread_bed):
+    bed = vread_bed
+    library = bed.manager.library_of(bed.client_vm)
+
+    def proc():
+        vfd = yield from library.vread_open("blk_1", "dn99")
+        return vfd
+
+    assert bed.run(bed.sim.process(proc())) is None
+    assert library.fallback_denials == 1
+
+
+def test_sequential_read_closes_vfd_at_block_end(vread_bed):
+    bed = vread_bed
+    write(bed, "/f", PatternSource(256 * 1024, seed=7), favored=["dn1"])
+    library = bed.manager.library_of(bed.client_vm)
+
+    def proc():
+        stream = yield from bed.vread_client.open("/f")
+        while True:
+            piece = yield from stream.read(64 * 1024)
+            if piece is None:
+                break
+        return len(library.vfd_hash)
+
+    # Algorithm 1: descriptor closed when position reaches block size.
+    assert bed.run(bed.sim.process(proc())) == 0
+
+
+def test_pread_keeps_vfd_open_for_reuse(vread_bed):
+    bed = vread_bed
+    write(bed, "/f", PatternSource(256 * 1024, seed=8), favored=["dn1"])
+    library = bed.manager.library_of(bed.client_vm)
+
+    def proc():
+        stream = yield from bed.vread_client.open("/f")
+        yield from stream.pread(1000, 5000)
+        open_after_first = len(library.vfd_hash)
+        yield from stream.pread(9000, 5000)
+        opens = library.opens
+        stream.close()
+        return open_after_first, opens, len(library.vfd_hash)
+
+    open_after_first, opens, after_close = bed.run(bed.sim.process(proc()))
+    assert open_after_first == 1     # Algorithm 2 keeps it in the hash
+    assert opens == 1                # second pread reused the descriptor
+    assert after_close == 0          # stream close releases descriptors
+
+
+def test_vread_pread_spans_blocks(vread_bed):
+    bed = vread_bed
+    payload = PatternSource(600 * 1024, seed=9)
+    write(bed, "/f", payload, favored=["dn1"])
+
+    def proc():
+        stream = yield from bed.vread_client.open("/f")
+        piece = yield from stream.pread(250 * 1024, 20 * 1024)
+        return piece
+
+    piece = bed.run(bed.sim.process(proc()))
+    assert piece.read(0, piece.size) == payload.read(250 * 1024, 20 * 1024)
+
+
+def test_bypass_host_fs_mode_reads_without_mounts():
+    from tests.conftest import VReadBed
+
+    bed = VReadBed(bypass_host_fs=True)
+    payload = PatternSource(256 * 1024, seed=10)
+    write(bed, "/f", payload, favored=["dn1"])
+    assert bed.hosts[0].mounts == {}  # no loop mounts in bypass mode
+    got = vread_read_all(bed, "/f")
+    assert got.checksum() == payload.checksum()
+    assert bed.manager.library_of(bed.client_vm).fallback_denials == 0
+
+
+def test_vread_applies_only_to_reads_not_writes(vread_bed):
+    bed = vread_bed
+    payload = PatternSource(100 * 1024, seed=11)
+
+    def proc():
+        yield from bed.vread_client.write_file("/w", payload, favored=["dn1"])
+
+    bed.run(bed.sim.process(proc()))
+    bed.sim.run()
+    got = vread_read_all(bed, "/w")
+    assert got.checksum() == payload.checksum()

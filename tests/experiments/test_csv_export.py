@@ -1,0 +1,23 @@
+"""Tests for figure-to-CSV export."""
+
+from repro.experiments.common import FigureResult
+
+
+def test_to_csv_header_and_rows():
+    figure = FigureResult("Fig X", "demo", "freq", ["1.6GHz", "2.0GHz"],
+                          {"vanilla": [100.0, 120.5],
+                           "vRead": [150.0, 170.25]}, unit="MBps")
+    csv = figure.to_csv()
+    lines = csv.splitlines()
+    assert lines[0] == "freq,vanilla,vRead"
+    # Order within a row follows the series dict.
+    assert lines[1].split(",") == ["1.6GHz", "100.0", "150.0"]
+    assert lines[2].split(",") == ["2.0GHz", "120.5", "170.25"]
+
+
+def test_to_csv_roundtrips_values():
+    figure = FigureResult("F", "t", "x", [1, 2],
+                          {"s": [0.1234567890123, 2.0]})
+    csv = figure.to_csv()
+    value = float(csv.splitlines()[1].split(",")[1])
+    assert value == 0.1234567890123  # repr() keeps full precision

@@ -1,0 +1,110 @@
+"""Tests for the datanode block scanner."""
+
+import pytest
+
+from repro.hdfs.blockscanner import BlockScanner
+from repro.storage.content import LiteralSource
+
+
+def write(bed, path, data, **kwargs):
+    def proc():
+        yield from bed.client.write_file(path, data, **kwargs)
+
+    bed.run(bed.sim.process(proc()))
+
+
+def run_for(bed, seconds):
+    def proc():
+        yield bed.sim.timeout(seconds)
+
+    bed.run(bed.sim.process(proc()))
+
+
+def test_scanner_tracks_committed_blocks(hadoop_bed):
+    scanner = BlockScanner(hadoop_bed.datanode1)
+    write(hadoop_bed, "/f", b"x" * 1000)
+    assert len(scanner._expected) == 1
+
+
+def test_clean_blocks_pass_scans(hadoop_bed):
+    scanner = BlockScanner(hadoop_bed.datanode1, scan_interval=0.5)
+    write(hadoop_bed, "/f", b"x" * 1000)
+    scanner.start()
+    run_for(hadoop_bed, 2.0)
+    scanner.stop()
+    assert scanner.scans >= 2
+    assert scanner.corruptions_found == []
+
+
+def test_corrupt_replica_detected_and_dropped(hadoop_bed):
+    bed = hadoop_bed
+    scanner = BlockScanner(bed.datanode1, scan_interval=0.5)
+    write(bed, "/f", b"A" * 500, replication=2)
+    block = bed.namenode.get_blocks("/f")[0]
+    # Flip the co-located replica's bytes (same size).
+    inode = bed.datanode1_vm.guest_fs.lookup(
+        bed.datanode1.block_path(block.name))
+    inode.truncate()
+    inode.append(LiteralSource(b"B" * 500))
+    bed.datanode1_vm.drop_guest_cache()
+
+    scanner.start()
+    run_for(bed, 2.0)
+    scanner.stop()
+    assert block.name in scanner.corruptions_found
+    assert block.locations == ["dn2"]
+
+    # Reads now come from the healthy remote replica.
+    def read():
+        source = yield from bed.client.read_file("/f")
+        return source.read(0, source.size)
+
+    assert bed.run(bed.sim.process(read())) == b"A" * 500
+
+
+def test_missing_block_file_reported(hadoop_bed):
+    bed = hadoop_bed
+    scanner = BlockScanner(bed.datanode1, scan_interval=0.5)
+    write(bed, "/f", b"x" * 300)
+    block = bed.namenode.get_blocks("/f")[0]
+    bed.datanode1_vm.guest_fs.unlink(bed.datanode1.block_path(block.name))
+    scanner.start()
+    run_for(bed, 1.5)
+    scanner.stop()
+    assert block.name in scanner.corruptions_found
+    assert block.locations == []
+
+
+def test_deleted_blocks_forgotten(hadoop_bed):
+    bed = hadoop_bed
+    scanner = BlockScanner(bed.datanode1)
+    write(bed, "/f", b"x" * 100)
+    assert len(scanner._expected) == 1
+
+    def proc():
+        yield from bed.client.delete("/f")
+
+    bed.run(bed.sim.process(proc()))
+    assert len(scanner._expected) == 0
+
+
+def test_double_start_rejected(hadoop_bed):
+    scanner = BlockScanner(hadoop_bed.datanode1)
+    scanner.start()
+    with pytest.raises(RuntimeError):
+        scanner.start()
+    scanner.stop()
+
+
+def test_scanner_burns_cpu_on_verification(hadoop_bed):
+    bed = hadoop_bed
+    scanner = BlockScanner(bed.datanode1, scan_interval=0.5,
+                           verify_cycles_per_byte=1.0)
+    write(bed, "/f", b"x" * 100_000)
+    mark = bed.hosts[0].accounting.snapshot()
+    scanner.start()
+    run_for(bed, 1.2)
+    scanner.stop()
+    window = bed.hosts[0].accounting.since(mark)
+    dn_cpu = window.by_thread().get(bed.datanode1_vm.vcpu.name, 0.0)
+    assert dn_cpu > 0

@@ -1,0 +1,40 @@
+"""Validation tests for HdfsConfig."""
+
+import pytest
+
+from repro.hdfs.config import DEFAULT_BLOCK_SIZE, HdfsConfig
+
+
+def test_defaults_match_hadoop_1x():
+    config = HdfsConfig()
+    assert config.block_size == 64 * 1024 * 1024 == DEFAULT_BLOCK_SIZE
+    assert config.replication == 1
+    assert config.data_dir == "/hadoop/dfs/data"
+    assert config.datanode_port == 50010
+    assert config.packet_bytes == 256 * 1024
+
+
+def test_block_size_validation():
+    with pytest.raises(ValueError):
+        HdfsConfig(block_size=0)
+
+
+def test_replication_validation():
+    with pytest.raises(ValueError):
+        HdfsConfig(replication=0)
+
+
+def test_data_dir_must_be_absolute():
+    with pytest.raises(ValueError):
+        HdfsConfig(data_dir="relative/path")
+
+
+def test_packet_bytes_validation():
+    with pytest.raises(ValueError):
+        HdfsConfig(packet_bytes=0)
+
+
+def test_config_is_frozen():
+    config = HdfsConfig()
+    with pytest.raises(Exception):
+        config.block_size = 1

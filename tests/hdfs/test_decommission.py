@@ -1,0 +1,109 @@
+"""Tests for graceful datanode decommissioning."""
+
+import pytest
+
+from repro.hdfs import Datanode, DfsClient, HdfsConfig, Namenode
+from repro.hdfs.fsck import fsck
+from repro.hdfs.replication import ReplicationMonitor
+from repro.storage.content import PatternSource
+from repro.virt.vm import VirtualMachine
+from tests.conftest import Testbed
+
+
+@pytest.fixture
+def three_node():
+    """Client + 3 datanodes across 3 hosts."""
+    bed = Testbed(n_hosts=3, vms_per_host=1)
+    client_vm = VirtualMachine(bed.hosts[0], "client")
+    namenode = Namenode(HdfsConfig(block_size=128 * 1024), vm=client_vm)
+    datanodes = [Datanode(f"dn{i + 1}", bed.vms[i], namenode, bed.network)
+                 for i in range(3)]
+    client = DfsClient(client_vm, namenode, bed.network)
+    return bed, namenode, client, datanodes
+
+
+def write(bed, client, path, data, **kwargs):
+    def proc():
+        yield from client.write_file(path, data, **kwargs)
+
+    bed.run(bed.sim.process(proc()))
+
+
+def run_for(bed, seconds):
+    def proc():
+        yield bed.sim.timeout(seconds)
+
+    bed.run(bed.sim.process(proc()))
+
+
+def test_decommission_drains_and_finalizes(three_node):
+    bed, namenode, client, datanodes = three_node
+    payload = PatternSource(300 * 1024, seed=21)
+    write(bed, client, "/f", payload, favored=["dn1"])
+    blocks = namenode.get_blocks("/f")
+    assert all(b.locations == ["dn1"] for b in blocks)
+
+    monitor = ReplicationMonitor(namenode, bed.network,
+                                 heartbeat_interval=0.4)
+    monitor.start(bed.sim)
+    monitor.decommission("dn1")
+    assert not monitor.is_drained("dn1")
+    run_for(bed, 6.0)
+    monitor.stop()
+
+    assert monitor.is_drained("dn1")
+    monitor.finalize_decommission("dn1")
+    for block in blocks:
+        assert "dn1" not in block.locations
+        assert len(block.locations) >= 1
+    assert fsck(namenode, verify_content=True).healthy
+
+    # Data still reads correctly from wherever it landed.
+    def read():
+        source = yield from client.read_file("/f", 64 * 1024)
+        return source
+
+    assert bed.run(bed.sim.process(read())).checksum() == payload.checksum()
+
+
+def test_decommissioning_node_excluded_from_new_writes(three_node):
+    bed, namenode, client, datanodes = three_node
+    monitor = ReplicationMonitor(namenode, bed.network)
+    monitor.decommission("dn1")
+    write(bed, client, "/new", b"x" * 1000)
+    block = namenode.get_blocks("/new")[0]
+    assert "dn1" not in block.locations
+
+
+def test_finalize_before_drained_rejected(three_node):
+    bed, namenode, client, datanodes = three_node
+    write(bed, client, "/f", b"x" * 1000, favored=["dn1"])
+    monitor = ReplicationMonitor(namenode, bed.network)
+    monitor.decommission("dn1")
+    with pytest.raises(RuntimeError, match="sole replicas"):
+        monitor.finalize_decommission("dn1")
+
+
+def test_decommission_unknown_datanode_rejected(three_node):
+    bed, namenode, client, datanodes = three_node
+    monitor = ReplicationMonitor(namenode, bed.network)
+    with pytest.raises(Exception):
+        monitor.decommission("dn99")
+
+
+def test_reads_keep_working_during_drain(three_node):
+    bed, namenode, client, datanodes = three_node
+    payload = PatternSource(100 * 1024, seed=22)
+    write(bed, client, "/f", payload, favored=["dn1"])
+    monitor = ReplicationMonitor(namenode, bed.network,
+                                 heartbeat_interval=5.0)  # slow sweep
+    monitor.decommission("dn1")
+
+    # Before any re-replication happened, dn1 still serves the read.
+    def read():
+        source = yield from client.read_file("/f", 64 * 1024)
+        return source
+
+    got = bed.run(bed.sim.process(read()))
+    assert got.checksum() == payload.checksum()
+    assert datanodes[0].blocks_served > 0

@@ -1,0 +1,135 @@
+"""Tests for the namenode edit log, checkpointing, and replay."""
+
+import pytest
+
+from repro.hdfs import Datanode, DfsClient, HdfsConfig, Namenode
+from repro.hdfs.editlog import EditLog, JournaledNamenode, replay_into
+from repro.hdfs.namenode import HdfsError
+from repro.storage.content import PatternSource
+from tests.conftest import Testbed
+
+
+def make_journaled_bed(block_size=256 * 1024):
+    bed = Testbed(n_hosts=2, vms_per_host=2)
+    client_vm = bed.vms[0]
+    config = HdfsConfig(block_size=block_size)
+    namenode = JournaledNamenode(config, vm=client_vm)
+    dn1 = Datanode("dn1", bed.vms[1], namenode, bed.network)
+    dn2 = Datanode("dn2", bed.vms[2], namenode, bed.network)
+    client = DfsClient(client_vm, namenode, bed.network)
+    return bed, namenode, client, (dn1, dn2)
+
+
+def write(bed, client, path, data, **kwargs):
+    def proc():
+        yield from client.write_file(path, data, **kwargs)
+
+    bed.run(bed.sim.process(proc()))
+
+
+def test_editlog_records_lifecycle():
+    bed, namenode, client, _ = make_journaled_bed()
+    write(bed, client, "/f", b"x" * 1000)
+    ops = [entry.op for entry in namenode.edit_log.entries]
+    assert ops == ["create", "add_block", "commit", "complete"]
+    txids = [entry.txid for entry in namenode.edit_log.entries]
+    assert txids == sorted(txids)  # monotonically increasing
+
+
+def test_editlog_delete():
+    bed, namenode, client, _ = make_journaled_bed()
+    write(bed, client, "/f", b"x")
+
+    def proc():
+        yield from client.delete("/f")
+
+    bed.run(bed.sim.process(proc()))
+    assert namenode.edit_log.entries[-1].op == "delete"
+
+
+def test_replay_from_edits_only():
+    bed, namenode, client, _ = make_journaled_bed()
+    payload = PatternSource(600 * 1024, seed=13)  # 3 blocks
+    write(bed, client, "/big", payload)
+    write(bed, client, "/small", b"tiny")
+
+    fresh = Namenode(namenode.config, vm=namenode.vm)
+    replay_into(fresh, namenode)
+    assert fresh.list_files() == ["/big", "/small"]
+    assert fresh.file_length("/big") == payload.size
+    original = namenode.get_blocks("/big")
+    restored = fresh.get_blocks("/big")
+    assert [b.name for b in restored] == [b.name for b in original]
+    assert [b.locations for b in restored] == [b.locations for b in original]
+    assert all(b.committed for b in restored)
+    assert fresh.file("/big").complete
+
+
+def test_replay_from_checkpoint_plus_edits():
+    bed, namenode, client, _ = make_journaled_bed()
+    write(bed, client, "/before", b"a" * 500)
+    checkpoint_txid = namenode.checkpoint()
+    assert checkpoint_txid == namenode.edit_log.last_txid
+    write(bed, client, "/after", b"b" * 700)
+
+    def proc():
+        yield from client.delete("/before")
+
+    bed.run(bed.sim.process(proc()))
+
+    fresh = Namenode(namenode.config, vm=namenode.vm)
+    replay_into(fresh, namenode)
+    assert fresh.list_files() == ["/after"]
+    assert fresh.file_length("/after") == 700
+
+
+def test_restored_namenode_serves_reads():
+    """The full restart story: replay metadata, then read real data."""
+    bed, namenode, client, datanodes = make_journaled_bed()
+    payload = PatternSource(300 * 1024, seed=14)
+    write(bed, client, "/f", payload)
+
+    fresh = Namenode(namenode.config, vm=namenode.vm)
+    replay_into(fresh, namenode)
+    for datanode in datanodes:
+        fresh.register_datanode(datanode)
+    new_client = DfsClient(bed.vms[0], fresh, bed.network)
+
+    def read():
+        source = yield from new_client.read_file("/f", 64 * 1024)
+        return source
+
+    got = bed.run(bed.sim.process(read()))
+    assert got.checksum() == payload.checksum()
+
+
+def test_replay_target_must_be_empty():
+    bed, namenode, client, _ = make_journaled_bed()
+    write(bed, client, "/f", b"x")
+    target = Namenode(namenode.config)
+    target.create_file("/existing")
+    with pytest.raises(HdfsError):
+        replay_into(target, namenode)
+
+
+def test_block_ids_continue_after_replay():
+    bed, namenode, client, datanodes = make_journaled_bed()
+    write(bed, client, "/f", b"x" * 100)
+    old_ids = {b.block_id for b in namenode.get_blocks("/f")}
+
+    fresh = Namenode(namenode.config, vm=namenode.vm)
+    replay_into(fresh, namenode)
+    for datanode in datanodes:
+        fresh.register_datanode(datanode)
+    block = fresh.create_file("/g") and fresh.allocate_block(
+        "/g", bed.vms[0])
+    assert block.block_id not in old_ids
+
+
+def test_editlog_entries_after():
+    log = EditLog()
+    log.append("create", "/a")
+    second = log.append("create", "/b")
+    log.append("create", "/c")
+    tail = log.entries_after(second.txid - 1)
+    assert [e.path for e in tail] == ["/b", "/c"]

@@ -1,0 +1,116 @@
+"""Failure injection: dead datanodes, lost replicas, client failover."""
+
+import pytest
+
+from repro.hdfs.protocol import HdfsProtocolError
+from repro.storage.content import PatternSource
+
+
+def write(bed, path, data, **kwargs):
+    def proc():
+        yield from bed.client.write_file(path, data, **kwargs)
+
+    bed.run(bed.sim.process(proc()))
+
+
+def read_all(bed, client, path):
+    def proc():
+        source = yield from client.read_file(path, 64 * 1024)
+        return source
+
+    return bed.run(bed.sim.process(proc()))
+
+
+def test_read_fails_over_to_remote_replica(hadoop_bed):
+    bed = hadoop_bed
+    payload = PatternSource(300 * 1024, seed=1)
+    write(bed, "/r2", payload, replication=2)
+    # The preferred (co-located) datanode dies.
+    bed.datanode1.stop()
+    got = read_all(bed, bed.client, "/r2")
+    assert got.checksum() == payload.checksum()
+    # The remote replica served the data.
+    assert bed.datanode2.blocks_served > 0
+
+
+def test_read_fails_when_all_replicas_down(hadoop_bed):
+    bed = hadoop_bed
+    write(bed, "/r2", b"x" * 1000, replication=2)
+    bed.datanode1.stop()
+    bed.datanode2.stop()
+
+    def proc():
+        yield from bed.client.read_file("/r2")
+
+    bed.sim.process(proc())
+    with pytest.raises(HdfsProtocolError, match="all replicas"):
+        bed.sim.run()
+
+
+def test_datanode_restart_recovers(hadoop_bed):
+    bed = hadoop_bed
+    write(bed, "/f", b"y" * 500)
+    bed.datanode1.stop()
+    bed.datanode1.start()
+    got = read_all(bed, bed.client, "/f")
+    assert got.read(0, got.size) == b"y" * 500
+
+
+def test_missing_block_file_fails_over(hadoop_bed):
+    bed = hadoop_bed
+    payload = b"z" * 2000
+    write(bed, "/r2", payload, replication=2)
+    block = bed.namenode.get_blocks("/r2")[0]
+    # Corrupt the co-located replica: remove the block file behind HDFS.
+    bed.datanode1_vm.guest_fs.unlink(bed.datanode1.block_path(block.name))
+    got = read_all(bed, bed.client, "/r2")
+    assert got.read(0, got.size) == payload
+
+
+def test_single_replica_missing_block_raises(hadoop_bed):
+    bed = hadoop_bed
+    write(bed, "/f", b"q" * 100)
+    block = bed.namenode.get_blocks("/f")[0]
+    bed.datanode1_vm.guest_fs.unlink(bed.datanode1.block_path(block.name))
+
+    def proc():
+        yield from bed.client.read_file("/f")
+
+    bed.sim.process(proc())
+    with pytest.raises(HdfsProtocolError):
+        bed.sim.run()
+
+
+def test_write_to_stopped_datanode_pipeline_fails(hadoop_bed):
+    bed = hadoop_bed
+    bed.datanode1.stop()
+
+    def proc():
+        yield from bed.client.write_file("/f", b"data", favored=["dn1"])
+
+    bed.sim.process(proc())
+    with pytest.raises(HdfsProtocolError):
+        bed.sim.run()
+
+
+def test_vread_falls_back_through_failover(vread_bed):
+    """vRead open fails (stale mount) AND the preferred replica is down:
+    the fallback chain still delivers the data from the remote replica."""
+    bed = vread_bed
+    payload = b"deep-fallback" * 100
+    # Plant metadata + replicas without commit notifications (stale mounts).
+    bed.namenode.create_file("/sneaky", replication=2)
+    block = bed.namenode.allocate_block("/sneaky", bed.client_vm)
+    for datanode in (bed.datanode1, bed.datanode2):
+        if datanode.datanode_id in block.locations:
+            datanode.vm.guest_fs.create(
+                datanode.block_path(block.name), payload)
+    block.size = len(payload)
+    block.committed = True
+    bed.namenode.file("/sneaky").complete = True
+    bed.datanode1.stop()
+
+    got = read_all(bed, bed.vread_client, "/sneaky")
+    assert got.read(0, got.size) == payload
+    library = bed.manager.library_of(bed.client_vm)
+    assert library.fallback_denials > 0

@@ -1,0 +1,145 @@
+"""Tests for namenode metadata: files, blocks, placement, notifications."""
+
+import pytest
+
+from repro.hdfs.namenode import HdfsError
+
+
+def test_create_file_and_exists(hadoop_bed):
+    meta = hadoop_bed.namenode.create_file("/f")
+    assert hadoop_bed.namenode.exists("/f")
+    assert meta.length == 0
+    with pytest.raises(HdfsError):
+        hadoop_bed.namenode.create_file("/f")
+
+
+def test_allocate_blocks_sequential_offsets(hadoop_bed):
+    nn = hadoop_bed.namenode
+    nn.create_file("/f")
+    b1 = nn.allocate_block("/f", hadoop_bed.client_vm)
+    b1.size = 100
+    nn.commit_block(b1)
+    b2 = nn.allocate_block("/f", hadoop_bed.client_vm)
+    assert b1.index == 0 and b2.index == 1
+    assert b2.offset == 100
+    assert b1.name != b2.name
+
+
+def test_allocate_requires_previous_commit(hadoop_bed):
+    nn = hadoop_bed.namenode
+    nn.create_file("/f")
+    nn.allocate_block("/f", hadoop_bed.client_vm)
+    with pytest.raises(HdfsError, match="under construction"):
+        nn.allocate_block("/f", hadoop_bed.client_vm)
+
+
+def test_placement_prefers_colocated_datanode(hadoop_bed):
+    nn = hadoop_bed.namenode
+    nn.create_file("/f")
+    block = nn.allocate_block("/f", hadoop_bed.client_vm)
+    # dn1 shares host1 with the client VM.
+    assert block.locations[0] == "dn1"
+
+
+def test_placement_favored_datanode_wins(hadoop_bed):
+    nn = hadoop_bed.namenode
+    nn.create_file("/f")
+    block = nn.allocate_block("/f", hadoop_bed.client_vm, favored=["dn2"])
+    assert block.locations == ["dn2"]
+
+
+def test_placement_replication_spreads(hadoop_bed):
+    nn = hadoop_bed.namenode
+    nn.create_file("/f", replication=2)
+    block = nn.allocate_block("/f", hadoop_bed.client_vm)
+    assert sorted(block.locations) == ["dn1", "dn2"]
+
+
+def test_replication_exceeding_datanodes_fails(hadoop_bed):
+    nn = hadoop_bed.namenode
+    nn.create_file("/f", replication=3)
+    with pytest.raises(RuntimeError, match="replication"):
+        nn.allocate_block("/f", hadoop_bed.client_vm)
+
+
+def test_read_replica_prefers_colocated(hadoop_bed):
+    policy = hadoop_bed.namenode.policy
+    chosen = policy.choose_read_replica(hadoop_bed.client_vm, ["dn2", "dn1"])
+    assert chosen == "dn1"
+    chosen_remote_only = policy.choose_read_replica(
+        hadoop_bed.client_vm, ["dn2"])
+    assert chosen_remote_only == "dn2"
+
+
+def test_commit_notifies_observers(hadoop_bed):
+    nn = hadoop_bed.namenode
+    events = []
+    nn.add_observer(lambda ev, blk, dn: events.append((ev, blk.name, dn)))
+    nn.create_file("/f")
+    block = nn.allocate_block("/f", hadoop_bed.client_vm)
+    nn.commit_block(block)
+    assert ("commit", block.name, "dn1") in events
+
+
+def test_double_commit_rejected(hadoop_bed):
+    nn = hadoop_bed.namenode
+    nn.create_file("/f")
+    block = nn.allocate_block("/f", hadoop_bed.client_vm)
+    nn.commit_block(block)
+    with pytest.raises(HdfsError):
+        nn.commit_block(block)
+
+
+def test_blocks_in_range(hadoop_bed):
+    nn = hadoop_bed.namenode
+    nn.create_file("/f")
+    blocks = []
+    for _ in range(3):
+        block = nn.allocate_block("/f", hadoop_bed.client_vm)
+        block.size = 100
+        nn.commit_block(block)
+        blocks.append(block)
+    assert nn.blocks_in_range("/f", 0, 50) == [blocks[0]]
+    assert nn.blocks_in_range("/f", 50, 100) == blocks[:2]
+    assert nn.blocks_in_range("/f", 100, 1) == [blocks[1]]
+    assert nn.blocks_in_range("/f", 0, 300) == blocks
+    assert nn.blocks_in_range("/f", 299, 100) == [blocks[2]]
+    with pytest.raises(HdfsError):
+        nn.blocks_in_range("/f", -1, 10)
+
+
+def test_complete_file_requires_committed_tail(hadoop_bed):
+    nn = hadoop_bed.namenode
+    nn.create_file("/f")
+    nn.allocate_block("/f", hadoop_bed.client_vm)
+    with pytest.raises(HdfsError):
+        nn.complete_file("/f")
+
+
+def test_delete_file_notifies_and_clears(hadoop_bed):
+    nn = hadoop_bed.namenode
+    events = []
+    nn.add_observer(lambda ev, blk, dn: events.append((ev, blk.name, dn)))
+    nn.create_file("/f")
+    block = nn.allocate_block("/f", hadoop_bed.client_vm)
+    nn.commit_block(block)
+    nn.delete_file("/f")
+    assert not nn.exists("/f")
+    assert ("delete", block.name, "dn1") in events
+    with pytest.raises(HdfsError):
+        nn.block_by_name(block.name)
+
+
+def test_unknown_lookups_raise(hadoop_bed):
+    nn = hadoop_bed.namenode
+    with pytest.raises(HdfsError):
+        nn.file("/missing")
+    with pytest.raises(HdfsError):
+        nn.datanode("dn99")
+    with pytest.raises(HdfsError):
+        nn.delete_file("/missing")
+
+
+def test_register_datanode_twice_rejected(hadoop_bed):
+    with pytest.raises(HdfsError):
+        hadoop_bed.namenode.register_datanode(hadoop_bed.datanode1)

@@ -1,0 +1,106 @@
+"""Tests for per-thread/per-category CPU accounting and breakdowns."""
+
+import pytest
+
+from repro.metrics.accounting import (
+    CATEGORY_ORDER,
+    CLIENT_APPLICATION,
+    COPY_VIRTIO,
+    CpuAccounting,
+    OTHERS,
+    UtilizationBreakdown,
+    VHOST_NET,
+)
+
+
+def test_charge_accumulates():
+    acct = CpuAccounting()
+    acct.charge("vcpu0", CLIENT_APPLICATION, 0.5)
+    acct.charge("vcpu0", CLIENT_APPLICATION, 0.25)
+    assert acct.by_category() == {CLIENT_APPLICATION: 0.75}
+
+
+def test_negative_charge_rejected():
+    acct = CpuAccounting()
+    with pytest.raises(ValueError):
+        acct.charge("t", OTHERS, -0.1)
+
+
+def test_by_category_filters_threads():
+    acct = CpuAccounting()
+    acct.charge("client.vcpu", CLIENT_APPLICATION, 1.0)
+    acct.charge("datanode.vcpu", COPY_VIRTIO, 2.0)
+    only_client = acct.by_category(threads=["client.vcpu"])
+    assert only_client == {CLIENT_APPLICATION: 1.0}
+
+
+def test_by_thread_totals():
+    acct = CpuAccounting()
+    acct.charge("a", CLIENT_APPLICATION, 1.0)
+    acct.charge("a", OTHERS, 0.5)
+    acct.charge("b", VHOST_NET, 2.0)
+    assert acct.by_thread() == {"a": 1.5, "b": 2.0}
+
+
+def test_total():
+    acct = CpuAccounting()
+    acct.charge("a", OTHERS, 1.0)
+    acct.charge("b", OTHERS, 2.0)
+    assert acct.total() == 3.0
+
+
+def test_snapshot_and_since_window():
+    acct = CpuAccounting()
+    acct.charge("a", OTHERS, 5.0)
+    mark = acct.snapshot()
+    acct.charge("a", OTHERS, 2.0)
+    acct.charge("b", VHOST_NET, 1.0)
+    window = acct.since(mark)
+    assert window.by_category() == {OTHERS: 2.0, VHOST_NET: 1.0}
+    # Original untouched.
+    assert acct.by_category()[OTHERS] == 7.0
+
+
+def test_since_excludes_zero_deltas():
+    acct = CpuAccounting()
+    acct.charge("a", OTHERS, 5.0)
+    mark = acct.snapshot()
+    window = acct.since(mark)
+    assert window.by_category() == {}
+
+
+def test_breakdown_fractions():
+    # 2 cores over a 10s window = 20 core-seconds of capacity.
+    breakdown = UtilizationBreakdown(
+        {CLIENT_APPLICATION: 5.0, VHOST_NET: 1.0}, window_seconds=10.0, cores=2)
+    assert breakdown.get(CLIENT_APPLICATION) == pytest.approx(0.25)
+    assert breakdown.get(VHOST_NET) == pytest.approx(0.05)
+    assert breakdown.total == pytest.approx(0.30)
+
+
+def test_breakdown_rows_follow_paper_order():
+    breakdown = UtilizationBreakdown(
+        {VHOST_NET: 1.0, CLIENT_APPLICATION: 1.0}, window_seconds=10.0, cores=1)
+    names = [name for name, _ in breakdown.rows()]
+    assert names == [CLIENT_APPLICATION, VHOST_NET]
+    assert CATEGORY_ORDER.index(CLIENT_APPLICATION) < CATEGORY_ORDER.index(VHOST_NET)
+
+
+def test_breakdown_unknown_category_listed_last():
+    breakdown = UtilizationBreakdown(
+        {"custom": 1.0, CLIENT_APPLICATION: 1.0}, window_seconds=10.0, cores=1)
+    names = [name for name, _ in breakdown.rows()]
+    assert names == [CLIENT_APPLICATION, "custom"]
+
+
+def test_breakdown_validation():
+    with pytest.raises(ValueError):
+        UtilizationBreakdown({}, window_seconds=0, cores=1)
+    with pytest.raises(ValueError):
+        UtilizationBreakdown({}, window_seconds=1, cores=0)
+
+
+def test_breakdown_drops_zero_categories():
+    breakdown = UtilizationBreakdown(
+        {CLIENT_APPLICATION: 0.0, VHOST_NET: 1.0}, window_seconds=10.0, cores=1)
+    assert CLIENT_APPLICATION not in breakdown.utilization

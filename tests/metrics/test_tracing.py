@@ -1,0 +1,102 @@
+"""Tests for the event tracer and its scheduler integration."""
+
+import pytest
+
+from repro.hostmodel.costs import CostModel
+from repro.hostmodel.cpu import CpuScheduler
+from repro.metrics.accounting import CpuAccounting
+from repro.metrics.tracing import Tracer
+from repro.sim import Simulator
+
+
+def test_record_and_filter():
+    tracer = Tracer()
+    tracer.record(1.0, "sched", "dispatch", thread="a")
+    tracer.record(2.0, "net", "send", bytes=100)
+    tracer.record(3.0, "sched", "preempt", thread="a")
+    assert len(tracer) == 3
+    assert len(tracer.events(category="sched")) == 2
+    assert len(tracer.events(name="send")) == 1
+    assert tracer.events(category="sched", name="preempt")[0].time == 3.0
+
+
+def test_category_allowlist():
+    tracer = Tracer(categories=["net"])
+    tracer.record(1.0, "sched", "dispatch")
+    tracer.record(2.0, "net", "send")
+    assert len(tracer) == 1
+    assert tracer.events()[0].category == "net"
+
+
+def test_bounded_capacity_drops_oldest():
+    tracer = Tracer(capacity=3)
+    for i in range(5):
+        tracer.record(float(i), "c", f"e{i}")
+    assert len(tracer) == 3
+    assert [event.name for event in tracer.events()] == ["e2", "e3", "e4"]
+    assert tracer.dropped == 2
+    assert tracer.recorded == 5
+
+
+def test_render_contains_fields():
+    tracer = Tracer()
+    tracer.record(0.001, "sched", "dispatch", thread="vcpu0", cycles=5)
+    text = tracer.render()
+    assert "dispatch" in text and "thread=vcpu0" in text and "cycles=5" in text
+
+
+def test_render_limit_and_clear():
+    tracer = Tracer()
+    for i in range(10):
+        tracer.record(float(i), "c", f"e{i}")
+    assert tracer.render(limit=2).count("\n") == 1
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_scheduler_emits_dispatch_and_preempt():
+    sim = Simulator()
+    costs = CostModel().with_overrides(context_switch_cycles=0.0,
+                                       wakeup_stacking_delay_seconds=0.0)
+    sched = CpuScheduler(sim, 1, 1e9, CpuAccounting(), costs)
+    sched.tracer = Tracer()
+
+    def worker(tag):
+        yield from sched.thread(tag).run(3_000_000, "work")  # 3 slices
+
+    sim.process(worker("a"))
+    sim.process(worker("b"))
+    sim.run()
+    dispatches = sched.tracer.events(name="dispatch")
+    preempts = sched.tracer.events(name="preempt")
+    assert len(dispatches) == 2
+    assert len(preempts) > 0  # round-robin between the two bursts
+
+
+def test_scheduler_emits_stacked_events_under_load():
+    sim = Simulator()
+    sched = CpuScheduler(sim, 1, 1e9, CpuAccounting(), name="traced")
+    sched.tracer = Tracer()
+    hog_thread = sched.thread("hog")
+
+    def hog():
+        for _ in range(50):
+            yield from hog_thread.run(1_000_000, "hog")
+
+    def waker():
+        thread = sched.thread("waker")
+        for _ in range(50):
+            yield from thread.run(1_000, "w")
+            yield sim.timeout(0.0002)
+
+    sim.process(hog())
+    sim.process(waker())
+    sim.run()
+    stacked = sched.tracer.events(name="stacked")
+    assert len(stacked) == sched.stacked_wakeups
+    assert sched.stacked_wakeups > 0

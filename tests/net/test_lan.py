@@ -1,0 +1,101 @@
+"""Tests for the physical LAN / NIC model."""
+
+import pytest
+
+from repro.hostmodel import PhysicalHost
+from repro.hostmodel.costs import CostModel
+from repro.net.lan import Lan
+from repro.sim import SimulationError, Simulator
+
+
+def make_lan(n_hosts=2):
+    sim = Simulator()
+    costs = CostModel()
+    lan = Lan(sim, costs)
+    hosts = [PhysicalHost(sim, f"host{i}", costs=costs) for i in range(n_hosts)]
+    for host in hosts:
+        lan.attach(host)
+    return sim, lan, hosts, costs
+
+
+def test_attach_installs_nic():
+    _, lan, hosts, _ = make_lan()
+    assert hosts[0].nic is lan.nic_of(hosts[0])
+
+
+def test_double_attach_rejected():
+    sim, lan, hosts, _ = make_lan()
+    with pytest.raises(SimulationError):
+        lan.attach(hosts[0])
+
+
+def test_nic_of_unattached_host():
+    sim, lan, hosts, costs = make_lan()
+    stranger = PhysicalHost(sim, "stranger", costs=costs)
+    with pytest.raises(SimulationError):
+        lan.nic_of(stranger)
+
+
+def test_transfer_time_is_wire_plus_latency():
+    sim, lan, hosts, costs = make_lan()
+    nbytes = 1 << 20
+
+    def proc():
+        yield from lan.transfer(hosts[0], hosts[1], nbytes)
+        return sim.now
+
+    process = sim.process(proc())
+    sim.run()
+    expected = nbytes / costs.nic_bandwidth_bytes_per_sec + costs.lan_latency
+    assert process.value == pytest.approx(expected)
+
+
+def test_transfer_same_host_rejected():
+    sim, lan, hosts, _ = make_lan()
+
+    def proc():
+        yield from lan.transfer(hosts[0], hosts[0], 100)
+
+    sim.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_sender_nic_serializes_transmissions():
+    sim, lan, hosts, costs = make_lan()
+    finish = []
+    nbytes = 1 << 20
+
+    def proc():
+        yield from lan.transfer(hosts[0], hosts[1], nbytes)
+        finish.append(sim.now)
+
+    sim.process(proc())
+    sim.process(proc())
+    sim.run()
+    wire = nbytes / costs.nic_bandwidth_bytes_per_sec
+    assert finish[0] == pytest.approx(wire + costs.lan_latency)
+    assert finish[1] == pytest.approx(2 * wire + costs.lan_latency)
+
+
+def test_byte_counters():
+    sim, lan, hosts, _ = make_lan()
+
+    def proc():
+        yield from lan.transfer(hosts[0], hosts[1], 1000)
+
+    sim.process(proc())
+    sim.run()
+    assert lan.nic_of(hosts[0]).bytes_sent == 1000
+    assert lan.nic_of(hosts[1]).bytes_received == 1000
+
+
+def test_negative_transmit_rejected():
+    sim, lan, hosts, _ = make_lan()
+
+    def proc():
+        yield from lan.nic_of(hosts[0]).transmit(-5)
+
+    sim.process(proc())
+    with pytest.raises(ValueError):
+        sim.run()

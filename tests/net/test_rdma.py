@@ -1,0 +1,127 @@
+"""Tests for the RDMA/RoCE model, including the TCP CPU-cost asymmetry."""
+
+import pytest
+
+from repro.metrics.accounting import RDMA
+from repro.sim import SimulationError
+
+
+def make_qp(bed):
+    daemon1 = bed.hosts[0].thread("vread-daemon")
+    daemon2 = bed.hosts[1].thread("vread-daemon")
+    return bed.rdma.queue_pair(bed.hosts[0], daemon1, bed.hosts[1], daemon2)
+
+
+def test_post_send_delivers_payload(testbed):
+    qp_a, qp_b = make_qp(testbed)
+    got = []
+
+    def receiver():
+        got.append((yield from qp_b.poll_recv()))
+
+    def sender():
+        yield from qp_a.post_send(b"rdma-payload")
+
+    recv_proc = testbed.sim.process(receiver())
+    testbed.sim.process(sender())
+    testbed.run(recv_proc)
+    assert got == [b"rdma-payload"]
+    assert qp_a.messages_sent == 1
+    assert qp_a.bytes_sent == len(b"rdma-payload")
+
+
+def test_rdma_cpu_cost_is_tiny_compared_to_tcp(testbed):
+    bed = testbed
+    costs = bed.costs
+    nbytes = 1 << 20
+    # RDMA CPU cycles for 1MB: 2 WRs + ~0.02/byte.
+    rdma_cycles = (2 * costs.rdma_work_request_cycles
+                   + costs.rdma_copy_cycles_per_byte * nbytes
+                   + 2 * costs.rdma_mr_registration_cycles)
+    # TCP path cycles for 1MB (guest tx + vhost both sides + guest rx).
+    segs = costs.segments(nbytes)
+    tcp_cycles = (costs.tcp_tx_segment_cycles * segs
+                  + costs.tcp_copy_cycles_per_byte * nbytes * 2
+                  + 2 * (costs.vhost_segment_cycles * segs
+                         + costs.vhost_copy_cycles_per_byte * nbytes)
+                  + costs.tcp_rx_segment_cycles * segs)
+    assert rdma_cycles < tcp_cycles / 10
+
+
+def test_rdma_charges_rdma_category(testbed):
+    bed = testbed
+    qp_a, qp_b = make_qp(bed)
+    mark1 = bed.hosts[0].accounting.snapshot()
+    mark2 = bed.hosts[1].accounting.snapshot()
+
+    def exchange():
+        def sender():
+            yield from qp_a.post_send(b"x" * 100_000)
+        bed.sim.process(sender())
+        yield from qp_b.poll_recv()
+
+    bed.run(bed.sim.process(exchange()))
+    w1 = bed.hosts[0].accounting.since(mark1).by_category()
+    w2 = bed.hosts[1].accounting.since(mark2).by_category()
+    assert w1.get(RDMA, 0) > 0
+    assert w2.get(RDMA, 0) > 0
+    # Active-push: the sender side carries more RDMA cost per message.
+    assert w1[RDMA] > w2[RDMA] - 1e-12
+
+
+def test_mr_registration_charged_once(testbed):
+    bed = testbed
+    qp_a, qp_b = make_qp(bed)
+    costs = bed.costs
+
+    def exchange(n):
+        def sender():
+            for _ in range(n):
+                yield from qp_a.post_send(b"small")
+        bed.sim.process(sender())
+        for _ in range(n):
+            yield from qp_b.poll_recv()
+
+    mark = bed.hosts[0].accounting.snapshot()
+    bed.run(bed.sim.process(exchange(3)))
+    busy = bed.hosts[0].accounting.since(mark).by_category()[RDMA]
+    freq = bed.hosts[0].frequency_hz
+    expected_cycles = (costs.rdma_mr_registration_cycles
+                       + 3 * (costs.rdma_work_request_cycles
+                              + costs.rdma_copy_cycles_per_byte * 5))
+    assert busy == pytest.approx(expected_cycles / freq, rel=1e-6)
+
+
+def test_queue_pair_same_host_rejected(testbed):
+    bed = testbed
+    t1 = bed.hosts[0].thread("d1")
+    t2 = bed.hosts[0].thread("d2")
+    with pytest.raises(SimulationError):
+        bed.rdma.queue_pair(bed.hosts[0], t1, bed.hosts[0], t2)
+
+
+def test_unconnected_qp_has_no_peer(testbed):
+    from repro.net.rdma import RdmaQueuePair
+    qp = RdmaQueuePair(testbed.rdma, testbed.hosts[0],
+                       testbed.hosts[0].thread("d"))
+    with pytest.raises(SimulationError):
+        _ = qp.peer
+
+
+def test_wire_time_matches_lan(testbed):
+    bed = testbed
+    qp_a, qp_b = make_qp(bed)
+    nbytes = 1 << 20
+
+    def exchange():
+        def sender():
+            yield from qp_a.post_send(b"", size=nbytes)
+        bed.sim.process(sender())
+        yield from qp_b.poll_recv()
+        return bed.sim.now
+
+    finish = bed.run(bed.sim.process(exchange()))
+    wire = nbytes / bed.costs.nic_bandwidth_bytes_per_sec
+    # Wire time dominates; CPU adds a little.
+    assert finish >= wire
+    assert finish < wire * 1.5

@@ -1,0 +1,136 @@
+"""Property tests on the CPU scheduler: conservation, fairness, stacking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hostmodel.costs import CostModel
+from repro.hostmodel.cpu import CpuScheduler
+from repro.metrics.accounting import CpuAccounting, OTHERS
+from repro.sim import Simulator
+
+CLEAN = CostModel().with_overrides(context_switch_cycles=0.0,
+                                   wakeup_stacking_delay_seconds=0.0)
+
+
+@given(burst_cycles=st.lists(st.integers(min_value=1, max_value=5_000_000),
+                             min_size=1, max_size=8),
+       cores=st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_busy_time_conservation(burst_cycles, cores):
+    """Accounted busy time == requested cycles / frequency, and the host can
+    never be busier than cores x elapsed."""
+    sim = Simulator()
+    acct = CpuAccounting()
+    sched = CpuScheduler(sim, cores, 1e9, acct, CLEAN)
+    for i, cycles in enumerate(burst_cycles):
+        thread = sched.thread(f"t{i}")
+
+        def proc(thread=thread, cycles=cycles):
+            yield from thread.run(cycles, "work")
+
+        sim.process(proc())
+    sim.run()
+    total_work = acct.by_category()["work"]
+    assert total_work == pytest.approx(sum(burst_cycles) / 1e9)
+    assert total_work <= cores * sim.now + 1e-12
+
+
+@given(cores=st.integers(min_value=1, max_value=4),
+       n_threads=st.integers(min_value=1, max_value=8))
+@settings(max_examples=20, deadline=None)
+def test_equal_bursts_finish_within_fairness_bound(cores, n_threads):
+    """N equal bursts on C cores all finish within ~ceil(N/C) x solo time."""
+    sim = Simulator()
+    acct = CpuAccounting()
+    sched = CpuScheduler(sim, cores, 1e9, acct, CLEAN)
+    cycles = 3_000_000  # 3ms solo
+    finish = []
+
+    for i in range(n_threads):
+        thread = sched.thread(f"t{i}")
+
+        def proc(thread=thread):
+            yield from thread.run(cycles, "work")
+            finish.append(sim.now)
+
+        sim.process(proc())
+
+    sim.run()
+    solo = cycles / 1e9
+    rounds = -(-n_threads // cores)
+    assert max(finish) <= rounds * solo * 1.10 + 1e-9
+    assert min(finish) >= solo - 1e-12
+
+
+def test_stacked_wakeups_occur_only_under_load():
+    sim = Simulator()
+    acct = CpuAccounting()
+    sched = CpuScheduler(sim, 4, 1e9, acct)  # default costs: stacking on
+
+    # A lone thread never experiences wake stacking.
+    def lone():
+        yield from sched.thread("lone").run(1_000_000, "work")
+
+    sim.run_until_complete(sim.process(lone()))
+    assert sched.stacked_wakeups == 0
+
+
+def test_stacked_wakeups_happen_with_busy_cores():
+    sim = Simulator()
+    acct = CpuAccounting()
+    sched = CpuScheduler(sim, 2, 1e9, acct, name="stacktest")
+    hog_threads = [sched.thread(f"hog{i}") for i in range(2)]
+
+    def hog(thread):
+        for _ in range(200):
+            yield from thread.run(1_000_000, "hog")  # 1ms bursts
+
+    for thread in hog_threads:
+        sim.process(hog(thread))
+
+    def waker():
+        thread = sched.thread("waker")
+        for _ in range(200):
+            yield from thread.run(10_000, "work")
+            yield sim.timeout(0.0005)
+
+    sim.process(waker())
+    sim.run()
+    # With both cores hot, (busy/cores)^2 = 1 -> essentially every wakeup
+    # of the waker stacks.
+    assert sched.stacked_wakeups > 100
+
+
+def test_stacking_is_deterministic_per_name():
+    def run_once():
+        sim = Simulator()
+        sched = CpuScheduler(sim, 2, 1e9, CpuAccounting(), name="same-seed")
+        threads = [sched.thread(f"t{i}") for i in range(3)]
+
+        def worker(thread):
+            for _ in range(50):
+                yield from thread.run(500_000, "w")
+                yield sim.timeout(0.0002)
+
+        for thread in threads:
+            sim.process(worker(thread))
+        sim.run()
+        return sched.stacked_wakeups, sim.now
+
+    assert run_once() == run_once()
+
+
+@given(frequency=st.sampled_from([1.6e9, 2.0e9, 3.2e9]))
+@settings(max_examples=3, deadline=None)
+def test_duration_scales_inversely_with_frequency(frequency):
+    sim = Simulator()
+    sched = CpuScheduler(sim, 1, frequency, CpuAccounting(), CLEAN)
+
+    def proc():
+        yield from sched.thread("t").run(8_000_000, "work")
+        return sim.now
+
+    process = sim.process(proc())
+    sim.run()
+    assert process.value == pytest.approx(8_000_000 / frequency)

@@ -1,0 +1,180 @@
+"""Unit tests for the discrete-event kernel: clock, events, run loop."""
+
+import pytest
+
+from repro.sim import Event, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(2.5)
+    sim.run()
+    assert sim.now == 2.5
+
+
+def test_run_until_advances_exactly_to_until():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+
+
+def test_run_until_processes_events_at_until():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(3.0)
+        fired.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=3.0)
+    assert fired == [3.0]
+
+
+def test_run_until_in_past_raises():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_event_succeed_carries_value():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("payload")
+    sim.run()
+    assert event.ok and event.value == "payload"
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_value_before_trigger_raises():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_failed_undefused_event_crashes_run():
+    sim = Simulator()
+    event = sim.event()
+    event.fail(RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+
+
+def test_failed_defused_event_is_silent():
+    sim = Simulator()
+    event = sim.event()
+    event.fail(RuntimeError("boom"))
+    event.defuse()
+    sim.run()  # must not raise
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        event.fail("not an exception")
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for tag in ("a", "b", "c"):
+        event = sim.event()
+        event.callbacks.append(lambda _, t=tag: order.append(t))
+        event.succeed(None)
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(7.0)
+    sim.timeout(3.0)
+    assert sim.peek() == 3.0
+
+
+def test_run_until_complete_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        return 42
+
+    assert sim.run_until_complete(sim.process(proc())) == 42
+
+
+def test_run_until_complete_detects_deadlock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.event()  # never fires
+
+    process = sim.process(proc())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(process)
+
+
+def test_run_until_complete_reraises_process_error():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        raise ValueError("inner")
+
+    process = sim.process(proc())
+    with pytest.raises(ValueError, match="inner"):
+        sim.run_until_complete(process)
+
+
+def test_callbacks_receive_the_event():
+    sim = Simulator()
+    seen = []
+    event = sim.event()
+    event.callbacks.append(seen.append)
+    event.succeed("x")
+    sim.run()
+    assert seen == [event]
+
+
+def test_event_trigger_mirrors_success():
+    sim = Simulator()
+    source = sim.event()
+    mirror = sim.event()
+    source.callbacks.append(mirror.trigger)
+    source.succeed(99)
+    sim.run()
+    assert mirror.ok and mirror.value == 99
+
+
+def test_event_trigger_mirrors_failure():
+    sim = Simulator()
+    source = sim.event()
+    mirror = sim.event()
+    source.callbacks.append(mirror.trigger)
+    source.fail(KeyError("k"))
+    mirror.callbacks.append(lambda e: None)
+    with pytest.raises(KeyError):
+        sim.run()

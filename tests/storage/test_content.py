@@ -1,0 +1,123 @@
+"""Tests for byte-content sources, including property-based range checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.content import (
+    ConcatSource,
+    LiteralSource,
+    PatternSource,
+    SliceSource,
+    ZeroSource,
+)
+
+
+def test_literal_source_roundtrip():
+    src = LiteralSource(b"hello world")
+    assert src.size == 11
+    assert src.read(0, 5) == b"hello"
+    assert src.read(6, 5) == b"world"
+    assert src.read(6, 100) == b"world"  # clamped
+    assert src.read(11, 4) == b""
+
+
+def test_negative_offsets_rejected():
+    src = LiteralSource(b"abc")
+    with pytest.raises(ValueError):
+        src.read(-1, 2)
+    with pytest.raises(ValueError):
+        src.read(0, -2)
+
+
+def test_pattern_source_deterministic():
+    a = PatternSource(1 << 20, seed=7)
+    b = PatternSource(1 << 20, seed=7)
+    assert a.read(12345, 999) == b.read(12345, 999)
+
+
+def test_pattern_source_seeds_differ():
+    a = PatternSource(1024, seed=1)
+    b = PatternSource(1024, seed=2)
+    assert a.read(0, 64) != b.read(0, 64)
+
+
+def test_pattern_source_subrange_matches_full_read():
+    src = PatternSource(4096, seed=3)
+    full = src.read(0, 4096)
+    assert src.read(100, 50) == full[100:150]
+    assert src.read(0, 1) == full[:1]
+    assert src.read(4095, 10) == full[4095:]
+
+
+def test_zero_source():
+    src = ZeroSource(100)
+    assert src.read(10, 20) == b"\x00" * 20
+    assert src.read(90, 100) == b"\x00" * 10
+
+
+def test_concat_source_spans_parts():
+    src = ConcatSource([LiteralSource(b"abc"), LiteralSource(b"defgh")])
+    assert src.size == 8
+    assert src.read(0, 8) == b"abcdefgh"
+    assert src.read(2, 3) == b"cde"
+    assert src.read(5, 10) == b"fgh"
+
+
+def test_concat_source_skips_empty_parts():
+    src = ConcatSource([LiteralSource(b""), LiteralSource(b"xy")])
+    assert src.size == 2
+    assert src.read(0, 2) == b"xy"
+
+
+def test_slice_source_window():
+    base = LiteralSource(b"0123456789")
+    sliced = SliceSource(base, 2, 5)  # "23456"
+    assert sliced.size == 5
+    assert sliced.read(0, 5) == b"23456"
+    assert sliced.read(3, 10) == b"56"
+
+
+def test_slice_source_bounds_validation():
+    base = LiteralSource(b"0123")
+    with pytest.raises(ValueError):
+        SliceSource(base, 2, 5)
+    with pytest.raises(ValueError):
+        SliceSource(base, -1, 2)
+
+
+def test_checksum_streams_lazily():
+    literal = LiteralSource(b"a" * 100_000)
+    pattern = PatternSource(100_000, seed=1)
+    assert literal.checksum() == LiteralSource(b"a" * 100_000).checksum()
+    assert pattern.checksum(chunk=1024) == pattern.checksum(chunk=65536)
+
+
+@given(data=st.binary(min_size=0, max_size=512),
+       offset=st.integers(min_value=0, max_value=600),
+       length=st.integers(min_value=0, max_value=600))
+def test_literal_read_matches_python_slicing(data, offset, length):
+    src = LiteralSource(data)
+    assert src.read(offset, length) == data[offset:offset + length]
+
+
+@given(size=st.integers(min_value=1, max_value=2048),
+       seed=st.integers(min_value=0, max_value=10),
+       offset=st.integers(min_value=0, max_value=2048),
+       length=st.integers(min_value=0, max_value=512))
+@settings(max_examples=50)
+def test_pattern_read_consistent_with_full_materialization(size, seed, offset, length):
+    src = PatternSource(size, seed=seed)
+    full = src.read(0, size)
+    assert len(full) == size
+    assert src.read(offset, length) == full[offset:offset + length]
+
+
+@given(parts=st.lists(st.binary(min_size=0, max_size=64), max_size=6),
+       offset=st.integers(min_value=0, max_value=400),
+       length=st.integers(min_value=0, max_value=400))
+def test_concat_read_matches_joined_bytes(parts, offset, length):
+    joined = b"".join(parts)
+    src = ConcatSource([LiteralSource(p) for p in parts])
+    assert src.size == len(joined)
+    assert src.read(offset, length) == joined[offset:offset + length]

@@ -1,0 +1,79 @@
+"""Tests for loop-mount staleness/refresh — the semantics vRead_update fixes."""
+
+import pytest
+
+from repro.storage.filesystem import FsError
+from repro.storage.image import DiskImage
+from repro.storage.loopdev import LoopMount
+
+
+@pytest.fixture
+def image():
+    img = DiskImage("dn1.img")
+    img.guest_fs.mkdir("/hdfs/data", parents=True)
+    img.guest_fs.create("/hdfs/data/blk_1", b"block-one")
+    return img
+
+
+def test_mount_sees_existing_files(image):
+    mount = LoopMount(image, "/mnt/dn1")
+    assert mount.exists("/hdfs/data/blk_1")
+    assert mount.read("/hdfs/data/blk_1", 0, 100) == b"block-one"
+    assert mount.size("/hdfs/data/blk_1") == 9
+
+
+def test_new_guest_file_invisible_until_refresh(image):
+    mount = LoopMount(image, "/mnt/dn1")
+    image.guest_fs.create("/hdfs/data/blk_2", b"block-two")
+    assert mount.stale
+    assert not mount.exists("/hdfs/data/blk_2")
+    with pytest.raises(FsError):
+        mount.read("/hdfs/data/blk_2", 0, 10)
+    mount.refresh()
+    assert not mount.stale
+    assert mount.read("/hdfs/data/blk_2", 0, 10) == b"block-two"
+
+
+def test_appends_to_existing_block_are_visible_without_refresh(image):
+    # Content changes are shared structure; only *namespace* changes need a
+    # refresh (HDFS blocks are write-once, appends happen before commit).
+    mount = LoopMount(image, "/mnt/dn1")
+    image.guest_fs.append("/hdfs/data/blk_1", b"-more")
+    assert mount.read("/hdfs/data/blk_1", 0, 100) == b"block-one-more"
+
+
+def test_deleted_guest_file_still_visible_until_refresh(image):
+    mount = LoopMount(image, "/mnt/dn1")
+    image.guest_fs.unlink("/hdfs/data/blk_1")
+    # The stale dentry still resolves (matches stale-cache semantics).
+    assert mount.exists("/hdfs/data/blk_1")
+    mount.refresh()
+    assert not mount.exists("/hdfs/data/blk_1")
+
+
+def test_rename_requires_refresh(image):
+    mount = LoopMount(image, "/mnt/dn1")
+    image.guest_fs.rename("/hdfs/data/blk_1", "/hdfs/data/blk_1.final")
+    assert not mount.exists("/hdfs/data/blk_1.final")
+    mount.refresh()
+    assert mount.exists("/hdfs/data/blk_1.final")
+    assert not mount.exists("/hdfs/data/blk_1")
+
+
+def test_refresh_count_tracks_invocations(image):
+    mount = LoopMount(image, "/mnt/dn1")
+    assert mount.refresh_count == 1  # initial mount scan
+    mount.refresh()
+    mount.refresh()
+    assert mount.refresh_count == 3
+
+
+def test_read_directory_through_mount_fails(image):
+    mount = LoopMount(image, "/mnt/dn1")
+    with pytest.raises(FsError):
+        mount.read("/hdfs/data", 0, 1)
+
+
+def test_mount_is_not_stale_right_after_mounting(image):
+    mount = LoopMount(image, "/mnt/dn1")
+    assert not mount.stale

@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_unknown_experiment_fails(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_quick_experiment(capsys):
+    assert main(["run", "fig03", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "2vms" in out and "4vms" in out
+
+
+def test_demo_verifies_data(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "vanilla" in out and "vRead" in out and "verified" in out
+
+
+def test_no_command_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_every_listed_experiment_has_a_runner():
+    from repro.cli import _runner_for
+
+    for name in EXPERIMENTS:
+        assert callable(_runner_for(name, quick=True))

@@ -1,0 +1,183 @@
+"""Tests for the shared ring buffer and eventfd channel primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SimulationError, Simulator
+from repro.virt.eventfd import EventFd
+from repro.virt.ivshmem import SharedRing
+
+
+# ----------------------------------------------------------------- SharedRing
+def test_slots_for():
+    ring = SharedRing(Simulator(), slots=8, slot_bytes=4096)
+    assert ring.slots_for(0) == 1       # header-only message
+    assert ring.slots_for(1) == 1
+    assert ring.slots_for(4096) == 1
+    assert ring.slots_for(4097) == 2
+    with pytest.raises(ValueError):
+        ring.slots_for(-1)
+
+
+def test_put_get_roundtrip():
+    sim = Simulator()
+    ring = SharedRing(sim)
+    got = []
+
+    def consumer():
+        payload, nbytes = yield from ring.get()
+        got.append((payload, nbytes))
+
+    def producer():
+        yield from ring.put("data", 5000)
+
+    proc = sim.process(consumer())
+    sim.process(producer())
+    sim.run_until_complete(proc)
+    assert got == [("data", 5000)]
+
+
+def test_ring_backpressure_when_full():
+    sim = Simulator()
+    ring = SharedRing(sim, slots=2, slot_bytes=4096)
+    completed = []
+
+    def producer():
+        yield from ring.put("a", 4096)   # 1 slot
+        completed.append("a")
+        yield from ring.put("b", 4096)   # 1 slot — ring now full
+        completed.append("b")
+        yield from ring.put("c", 4096)   # must block
+        completed.append("c")
+
+    def consumer():
+        yield sim.timeout(1.0)
+        yield from ring.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert completed == ["a", "b", "c"]
+    assert sim.now >= 1.0  # third put had to wait for the consumer
+
+
+def test_message_larger_than_ring_rejected():
+    sim = Simulator()
+    ring = SharedRing(sim, slots=2, slot_bytes=4096)
+
+    def producer():
+        yield from ring.put("huge", 3 * 4096)
+
+    sim.process(producer())
+    with pytest.raises(SimulationError, match="chunk"):
+        sim.run()
+
+
+def test_get_frees_slots():
+    sim = Simulator()
+    ring = SharedRing(sim, slots=4, slot_bytes=4096)
+
+    def proc():
+        yield from ring.put("x", 4 * 4096)
+        assert ring.occupied_slots == 4
+        yield from ring.get()
+        assert ring.occupied_slots == 0
+
+    sim.run_until_complete(sim.process(proc()))
+
+
+def test_max_occupancy_tracked():
+    sim = Simulator()
+    ring = SharedRing(sim, slots=8, slot_bytes=4096)
+
+    def proc():
+        yield from ring.put("x", 3 * 4096)
+        yield from ring.put("y", 2 * 4096)
+        yield from ring.get()
+        yield from ring.get()
+
+    sim.run_until_complete(sim.process(proc()))
+    assert ring.max_occupancy == 5
+
+
+def test_ring_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        SharedRing(sim, slots=0)
+    with pytest.raises(SimulationError):
+        SharedRing(sim, slot_bytes=0)
+
+
+@given(sizes=st.lists(st.integers(min_value=0, max_value=3 * 4096),
+                      min_size=1, max_size=20))
+@settings(max_examples=30)
+def test_ring_fifo_under_random_sizes(sizes):
+    sim = Simulator()
+    ring = SharedRing(sim, slots=4, slot_bytes=4096)
+    got = []
+
+    def producer():
+        for i, size in enumerate(sizes):
+            yield from ring.put(i, size)
+
+    def consumer():
+        for _ in sizes:
+            payload, _ = yield from ring.get()
+            got.append(payload)
+
+    sim.process(producer())
+    proc = sim.process(consumer())
+    sim.run_until_complete(proc)
+    assert got == list(range(len(sizes)))
+
+
+# -------------------------------------------------------------------- EventFd
+def test_eventfd_signal_then_wait():
+    sim = Simulator()
+    efd = EventFd(sim)
+    efd.signal()
+    woke = []
+
+    def waiter():
+        yield from efd.wait()
+        woke.append(sim.now)
+
+    sim.run_until_complete(sim.process(waiter()))
+    assert woke == [0.0]
+    assert efd.signals == 1
+
+
+def test_eventfd_wait_blocks_until_signal():
+    sim = Simulator()
+    efd = EventFd(sim)
+    woke = []
+
+    def waiter():
+        yield from efd.wait()
+        woke.append(sim.now)
+
+    def signaller():
+        yield sim.timeout(2.0)
+        efd.signal()
+
+    sim.process(waiter())
+    sim.process(signaller())
+    sim.run()
+    assert woke == [2.0]
+
+
+def test_eventfd_counts_accumulate():
+    sim = Simulator()
+    efd = EventFd(sim)
+    efd.signal()
+    efd.signal()
+    sim.run()
+    assert efd.pending == 2
+
+    def waiter():
+        yield from efd.wait()
+        yield from efd.wait()
+
+    sim.run_until_complete(sim.process(waiter()))
+    assert efd.pending == 0

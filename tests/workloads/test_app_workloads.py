@@ -1,0 +1,192 @@
+"""Tests for MapReduce, TestDFSIO, HBase, Hive, and Sqoop workloads."""
+
+import pytest
+
+from repro.cluster import VirtualHadoopCluster
+from repro.storage.content import PatternSource
+from repro.virt.vm import VirtualMachine
+from repro.workloads.hbase import HBaseTable
+from repro.workloads.hive import HiveTable
+from repro.workloads.mapreduce import MapSpec, MiniMapReduce
+from repro.workloads.sqoop import MySqlServer, SqoopExport
+from repro.workloads.testdfsio import TestDfsio
+
+
+@pytest.fixture
+def cluster():
+    return VirtualHadoopCluster(block_size=1 << 20)
+
+
+def load_files(cluster, paths, size, seed=1):
+    def proc():
+        for i, path in enumerate(paths):
+            yield from cluster.write_dataset(path, PatternSource(size,
+                                                                 seed=seed + i))
+
+    cluster.run(cluster.sim.process(proc()))
+    cluster.settle()
+
+
+# ---------------------------------------------------------------- MapReduce
+def test_mapreduce_runs_all_tasks(cluster):
+    paths = [f"/in/f{i}" for i in range(3)]
+    load_files(cluster, paths, 128 * 1024)
+    engine = MiniMapReduce(cluster.client(), map_slots=2)
+
+    def proc():
+        return (yield from engine.run([MapSpec(p, 64 * 1024) for p in paths]))
+
+    results = cluster.run(cluster.sim.process(proc()))
+    assert len(results) == 3
+    assert all(r.bytes_read == 128 * 1024 for r in results)
+    assert [r.path for r in results] == paths
+
+
+def test_mapreduce_mapper_collects_output(cluster):
+    load_files(cluster, ["/in/f0"], 128 * 1024)
+    engine = MiniMapReduce(cluster.client())
+
+    def proc():
+        return (yield from engine.run(
+            [MapSpec("/in/f0", 64 * 1024)], mapper=lambda piece: piece.size))
+
+    results = cluster.run(cluster.sim.process(proc()))
+    assert results[0].map_output == [64 * 1024, 64 * 1024]
+
+
+def test_mapreduce_slot_validation(cluster):
+    with pytest.raises(ValueError):
+        MiniMapReduce(cluster.client(), map_slots=0)
+
+
+def test_mapreduce_empty_job(cluster):
+    engine = MiniMapReduce(cluster.client())
+
+    def proc():
+        return (yield from engine.run([]))
+
+    assert cluster.run(cluster.sim.process(proc())) == []
+
+
+# ----------------------------------------------------------------- TestDFSIO
+def test_dfsio_write_then_read(cluster):
+    dfsio = TestDfsio(cluster.client(), request_bytes=256 * 1024)
+
+    def proc():
+        write_result = yield from dfsio.write(2, 512 * 1024, favored=["dn1"])
+        read_result = yield from dfsio.read(2)
+        return write_result, read_result
+
+    write_result, read_result = cluster.run(cluster.sim.process(proc()))
+    assert write_result.total_bytes == 2 * 512 * 1024
+    assert read_result.total_bytes == 2 * 512 * 1024
+    assert write_result.throughput_mbps > 0
+    assert read_result.throughput_mbps > 0
+    assert read_result.cpu_seconds > 0
+
+
+def test_dfsio_vread_beats_vanilla_throughput():
+    def measure(vread):
+        cluster = VirtualHadoopCluster(block_size=1 << 20, vread=vread)
+        dfsio = TestDfsio(cluster.client(), request_bytes=1 << 20)
+
+        def proc():
+            yield from dfsio.write(1, 4 << 20, favored=["dn1"])
+            cluster.drop_all_caches()
+            return (yield from dfsio.read(1))
+
+        return cluster.run(cluster.sim.process(proc()))
+
+    vanilla = measure(False)
+    vread = measure(True)
+    assert vread.throughput_mbps > vanilla.throughput_mbps
+    assert vread.cpu_seconds < vanilla.cpu_seconds
+
+
+# --------------------------------------------------------------------- HBase
+def test_hbase_operations(cluster):
+    table = HBaseTable(cluster.client(), row_bytes=256, rows_per_region=1024)
+
+    def proc():
+        yield from table.load(2048)
+        scan = yield from table.scan(batch_rows=256)
+        seq = yield from table.sequential_read(512)
+        rnd = yield from table.random_read(256)
+        table.close()
+        return scan, seq, rnd
+
+    scan, seq, rnd = cluster.run(cluster.sim.process(proc()))
+    assert scan.rows == 2048
+    assert scan.bytes_read == 2048 * 256
+    assert seq.rows == 512 and seq.bytes_read == 512 * 256
+    assert rnd.rows == 256
+    assert scan.throughput_mbps > seq.throughput_mbps  # batching wins
+
+
+def test_hbase_spans_regions(cluster):
+    table = HBaseTable(cluster.client(), row_bytes=128, rows_per_region=512)
+
+    def proc():
+        yield from table.load(1500)  # 3 regions
+        return table.n_regions
+
+    assert cluster.run(cluster.sim.process(proc())) == 3
+    assert cluster.namenode.exists(table.region_path(2))
+
+
+def test_hbase_empty_table_random_read_rejected(cluster):
+    table = HBaseTable(cluster.client())
+
+    def proc():
+        yield from table.random_read(1)
+
+    cluster.sim.process(proc())
+    with pytest.raises(ValueError):
+        cluster.sim.run()
+
+
+# ---------------------------------------------------------------------- Hive
+def test_hive_query_counts_matches(cluster):
+    table = HiveTable(cluster.client(), row_bytes=64, rows_per_file=1024)
+
+    def proc():
+        yield from table.load(3000)
+        result = yield from table.select_where_id_between(100, 199)
+        return result
+
+    result = cluster.run(cluster.sim.process(proc()))
+    assert result.scanned_rows == 3000
+    assert result.matched_rows == 100
+    assert result.elapsed_seconds > 0
+
+
+def test_hive_load_validation(cluster):
+    table = HiveTable(cluster.client())
+
+    def proc():
+        yield from table.load(0)
+
+    cluster.sim.process(proc())
+    with pytest.raises(ValueError):
+        cluster.sim.run()
+
+
+# --------------------------------------------------------------------- Sqoop
+def test_sqoop_export_moves_all_rows():
+    cluster = VirtualHadoopCluster(n_hosts=3, block_size=1 << 20)
+    mysql_vm = VirtualMachine(cluster.hosts[2], "mysql")
+    mysql = MySqlServer(mysql_vm, cluster.network)
+    table = HiveTable(cluster.client(), row_bytes=64, rows_per_file=1024)
+    export = SqoopExport(cluster.client(), mysql, cluster.network,
+                         batch_rows=500)
+
+    def proc():
+        yield from table.load(2048)
+        result = yield from export.export_table(table)
+        return result
+
+    result = cluster.run(cluster.sim.process(proc()))
+    assert result.rows == 2048
+    assert mysql.rows_inserted == 2048
+    assert result.batches >= 4
+    assert result.elapsed_seconds > 0

@@ -1,0 +1,131 @@
+"""Deeper MapReduce engine tests: factories, heartbeats, slot isolation."""
+
+import pytest
+
+from repro.cluster import VirtualHadoopCluster
+from repro.storage.content import PatternSource
+from repro.workloads.mapreduce import MapSpec, MiniMapReduce
+
+
+@pytest.fixture
+def cluster():
+    return VirtualHadoopCluster(block_size=1 << 20)
+
+
+def load(cluster, paths, size=128 * 1024):
+    def proc():
+        for i, path in enumerate(paths):
+            yield from cluster.write_dataset(
+                path, PatternSource(size, seed=40 + i))
+
+    cluster.run(cluster.sim.process(proc()))
+    cluster.settle()
+
+
+def test_mapper_factory_gives_each_task_its_own_state(cluster):
+    paths = [f"/in/f{i}" for i in range(4)]
+    load(cluster, paths)
+    engine = MiniMapReduce(cluster.client(), map_slots=2)
+    instances = []
+
+    def factory(spec):
+        state = {"path": spec.path, "pieces": 0}
+        instances.append(state)
+
+        def mapper(piece):
+            state["pieces"] += 1
+            return state["path"]
+
+        return mapper
+
+    def proc():
+        return (yield from engine.run(
+            [MapSpec(p, 64 * 1024) for p in paths],
+            mapper_factory=factory))
+
+    results = cluster.run(cluster.sim.process(proc()))
+    assert len(instances) == 4
+    assert all(state["pieces"] == 2 for state in instances)  # 128KB / 64KB
+    # Each task's outputs reference its own file.
+    for result in results:
+        assert set(result.map_output) == {result.path}
+
+
+def test_mapper_and_factory_are_mutually_exclusive(cluster):
+    engine = MiniMapReduce(cluster.client())
+
+    def proc():
+        yield from engine.run([], mapper=lambda piece: None,
+                              mapper_factory=lambda spec: None)
+
+    cluster.sim.process(proc())
+    with pytest.raises(ValueError):
+        cluster.sim.run()
+
+
+def test_heartbeat_stops_with_the_job(cluster):
+    load(cluster, ["/in/f0"])
+    engine = MiniMapReduce(cluster.client(), heartbeat_interval=0.001)
+
+    def proc():
+        yield from engine.run([MapSpec("/in/f0", 64 * 1024)])
+        return cluster.sim.now
+
+    finished_at = cluster.run(cluster.sim.process(proc()))
+    # Drain: if the heartbeat leaked, the sim would keep producing events
+    # forever; run() returning proves it stopped.
+    cluster.sim.run()
+    assert cluster.sim.now < finished_at + 0.01
+
+
+def test_heartbeat_cpu_scales_with_duration(cluster):
+    load(cluster, ["/in/f0"], size=1 << 20)
+    vcpu_name = cluster.client_vm.vcpu.name
+
+    def run_with(duty):
+        engine = MiniMapReduce(cluster.client(), heartbeat_interval=0.001,
+                               heartbeat_duty=duty,
+                               map_cycles_per_byte=0.0,
+                               map_cycles_per_call=0.0)
+        mark = cluster.hosts[0].accounting.snapshot()
+
+        def proc():
+            yield from engine.run([MapSpec("/in/f0", 256 * 1024)])
+
+        cluster.run(cluster.sim.process(proc()))
+        window = cluster.hosts[0].accounting.since(mark)
+        return window.by_thread().get(vcpu_name, 0.0)
+
+    low = run_with(0.0)
+    high = run_with(0.3)
+    assert high > low
+
+
+def test_map_slots_bound_concurrency(cluster):
+    paths = [f"/in/f{i}" for i in range(6)]
+    load(cluster, paths)
+    active = {"now": 0, "max": 0}
+
+    def factory(spec):
+        def mapper(piece):
+            return None
+
+        return mapper
+
+    class CountingEngine(MiniMapReduce):
+        def _map_task(self, spec, mapper):
+            active["now"] += 1
+            active["max"] = max(active["max"], active["now"])
+            try:
+                result = yield from super()._map_task(spec, mapper)
+            finally:
+                active["now"] -= 1
+            return result
+
+    engine = CountingEngine(cluster.client(), map_slots=2)
+
+    def proc():
+        yield from engine.run([MapSpec(p, 64 * 1024) for p in paths])
+
+    cluster.run(cluster.sim.process(proc()))
+    assert active["max"] <= 2

@@ -1,0 +1,130 @@
+"""Tests for the YCSB-like workload and the zipfian generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import VirtualHadoopCluster
+from repro.workloads.hbase import HBaseTable
+from repro.workloads.ycsb import YcsbWorkload, ZipfianGenerator
+
+
+# ------------------------------------------------------------------ zipfian
+def test_zipfian_ranges_and_skew():
+    gen = ZipfianGenerator(1000, rng=random.Random(1))
+    samples = [gen.next() for _ in range(5000)]
+    assert all(0 <= s < 1000 for s in samples)
+    # Heavy head: the hottest 1% of keys should draw far more than 1%.
+    hot = sum(1 for s in samples if s < 10) / len(samples)
+    assert hot > 0.15
+
+
+def test_zipfian_hot_fraction_monotone():
+    gen = ZipfianGenerator(100)
+    assert gen.hot_fraction(0) == 0.0
+    assert gen.hot_fraction(1) < gen.hot_fraction(10) < gen.hot_fraction(100)
+    assert gen.hot_fraction(100) == pytest.approx(1.0)
+
+
+def test_zipfian_validation():
+    with pytest.raises(ValueError):
+        ZipfianGenerator(0)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(10, theta=1.5)
+
+
+@given(n=st.integers(min_value=1, max_value=500),
+       seed=st.integers(min_value=0, max_value=5))
+@settings(max_examples=20, deadline=None)
+def test_zipfian_samples_always_in_range(n, seed):
+    gen = ZipfianGenerator(n, rng=random.Random(seed))
+    assert all(0 <= gen.next() < n for _ in range(50))
+
+
+# --------------------------------------------------------------------- YCSB
+@pytest.fixture
+def loaded_table():
+    cluster = VirtualHadoopCluster(block_size=1 << 20, vread=True)
+    table = HBaseTable(cluster.client(), row_bytes=256,
+                       rows_per_region=2048,
+                       get_cycles_per_row=20_000)
+
+    def load():
+        yield from table.load(4096)
+
+    cluster.run(cluster.sim.process(load()))
+    cluster.settle()
+    return cluster, table
+
+
+def test_ycsb_pure_reads(loaded_table):
+    cluster, table = loaded_table
+    workload = YcsbWorkload(table, read_fraction=1.0)
+
+    def proc():
+        return (yield from workload.run(200))
+
+    result = cluster.run(cluster.sim.process(proc()))
+    assert result.operations == 200
+    assert result.reads == 200 and result.scans == 0
+    assert result.bytes_read == 200 * 256
+    assert result.ops_per_second > 0
+
+
+def test_ycsb_scan_mix(loaded_table):
+    cluster, table = loaded_table
+    workload = YcsbWorkload(table, read_fraction=0.5, scan_rows=20, seed=3)
+
+    def proc():
+        return (yield from workload.run(100))
+
+    result = cluster.run(cluster.sim.process(proc()))
+    assert result.reads + result.scans == 100
+    assert result.scans > 10  # ~half
+    assert result.bytes_read > result.reads * 256
+
+
+def test_ycsb_zipfian_benefits_from_cache_more_than_uniform(loaded_table):
+    """Hot-key skew means repeat accesses hit warm pages: zipfian traffic
+    should be faster per op than uniform traffic on a cold-ish cache."""
+    cluster, table = loaded_table
+    cluster.drop_all_caches()
+    zipf = YcsbWorkload(table, distribution="zipfian", seed=4)
+
+    def run_zipf():
+        return (yield from zipf.run(400))
+
+    zipf_result = cluster.run(cluster.sim.process(run_zipf()))
+    cluster.drop_all_caches()
+    uniform = YcsbWorkload(table, distribution="uniform", seed=4)
+
+    def run_uniform():
+        return (yield from uniform.run(400))
+
+    uniform_result = cluster.run(cluster.sim.process(run_uniform()))
+    assert zipf_result.elapsed_seconds < uniform_result.elapsed_seconds
+
+
+def test_ycsb_validation(loaded_table):
+    _, table = loaded_table
+    with pytest.raises(ValueError):
+        YcsbWorkload(table, read_fraction=1.5)
+    with pytest.raises(ValueError):
+        YcsbWorkload(table, distribution="gaussian")
+    workload = YcsbWorkload(table)
+
+    def proc():
+        yield from workload.run(0)
+
+    table.client.vm.sim.process(proc())
+    with pytest.raises(ValueError):
+        table.client.vm.sim.run()
+
+
+def test_ycsb_empty_table_rejected():
+    cluster = VirtualHadoopCluster(block_size=1 << 20)
+    table = HBaseTable(cluster.client())
+    with pytest.raises(ValueError, match="empty"):
+        YcsbWorkload(table)
