@@ -1,12 +1,15 @@
 # Convenience targets for the vRead reproduction.
 
-.PHONY: install test bench report paper-report quick-report demo clean
+.PHONY: install test lint bench report paper-report quick-report demo clean
 
 install:
 	python setup.py develop
 
 test:
 	pytest tests/
+
+lint:
+	PYTHONPATH=src python -m repro.analysis src/repro
 
 bench:
 	pytest benchmarks/ --benchmark-only

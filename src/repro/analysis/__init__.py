@@ -1,0 +1,43 @@
+"""simlint: static analysis for determinism & simulation correctness.
+
+The simulation's headline claim — bit-identical, fully deterministic runs
+— only holds if no code path reads the host clock, draws from global
+randomness, yields non-events into the kernel, or leaks resource slots.
+This package makes those conventions machine-checked:
+
+* an AST rule framework with a registry (:mod:`repro.analysis.core`);
+* per-line ``# simlint: disable=<rule>`` pragmas
+  (:mod:`repro.analysis.pragmas`);
+* a CLI — ``python -m repro.analysis src/repro`` — that exits nonzero on
+  violations (:mod:`repro.analysis.cli`);
+* the built-in rules ``no-wallclock``, ``no-global-random``,
+  ``yield-discipline`` and ``resource-leak``
+  (:mod:`repro.analysis.rules`).
+
+The complementary *runtime* checks live in :mod:`repro.sim.sanitizer`
+(``Simulator(sanitize=True)``).  See ``docs/static_analysis.md``.
+"""
+
+from repro.analysis.core import (
+    LintContext,
+    Rule,
+    Violation,
+    create_rules,
+    register,
+    registered_rules,
+)
+from repro.analysis.pragmas import PragmaIndex
+from repro.analysis.runner import lint_file, lint_paths, lint_source
+
+__all__ = [
+    "LintContext",
+    "PragmaIndex",
+    "Rule",
+    "Violation",
+    "create_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "registered_rules",
+]

@@ -1,0 +1,85 @@
+"""simlint command line: ``python -m repro.analysis <paths...>``.
+
+Exit codes: 0 = clean, 1 = violations found, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.core import create_rules, registered_rules
+from repro.analysis.runner import lint_paths
+import repro.analysis.rules  # noqa: F401 - imported to register the rules
+from repro.analysis.rules.wallclock import NoWallclockRule
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="simlint: determinism & simulation-correctness checks")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list the registered rules and exit")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule names to run "
+                             "(default: all)")
+    parser.add_argument("--disable", metavar="RULES", default="",
+                        help="comma-separated rule names to skip")
+    parser.add_argument("--wallclock-allow", metavar="GLOB", action="append",
+                        default=[],
+                        help="path glob exempt from no-wallclock "
+                             "(repeatable)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the summary line")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        rules = registered_rules()
+        width = max(len(name) for name in rules)
+        for name, cls in rules.items():
+            print(f"  {name.ljust(width)}  {cls.description}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        return 2
+
+    select = args.select.split(",") if args.select else None
+    disable = [d for d in args.disable.split(",") if d]
+    try:
+        rules = create_rules(select=select, disable=disable)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.wallclock_allow:
+        for index, rule in enumerate(rules):
+            if isinstance(rule, NoWallclockRule):
+                rules[index] = NoWallclockRule(allow=args.wallclock_allow)
+
+    try:
+        violations = lint_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"error: no such file or directory: {exc.args[0]}",
+              file=sys.stderr)
+        return 2
+
+    for violation in violations:
+        print(violation.render())
+    if not args.quiet:
+        noun = "violation" if len(violations) == 1 else "violations"
+        print(f"simlint: {len(violations)} {noun} "
+              f"({len(rules)} rules)", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

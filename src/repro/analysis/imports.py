@@ -1,0 +1,41 @@
+"""Import-alias tracking for qualified-name resolution.
+
+Builds the ``alias -> dotted name`` map a :class:`~repro.analysis.core.
+LintContext` uses to resolve calls like ``t.sleep(...)`` back to
+``time.sleep`` regardless of how the module was imported.  Handles::
+
+    import time                     # time      -> time
+    import time as t                # t         -> time
+    from time import time           # time      -> time.time
+    from datetime import datetime   # datetime  -> datetime.datetime
+    from datetime import datetime as dt   # dt  -> datetime.datetime
+
+Relative imports (``from . import x``) resolve to nothing — simlint's rules
+only care about stdlib modules, which are always imported absolutely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict
+
+
+def collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map every imported local name to its dotted qualified name."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                # `import a.b` binds `a`; `import a.b as c` binds `c` to a.b.
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative import: not a stdlib target
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases

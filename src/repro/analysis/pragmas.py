@@ -1,0 +1,51 @@
+"""Per-line suppression pragmas.
+
+Syntax (in a comment, anywhere on the offending line)::
+
+    started = time.time()  # simlint: disable=no-wallclock
+    x = foo()              # simlint: disable=no-wallclock,resource-leak
+    y = bar()              # simlint: disable=all
+
+A file-wide opt-out for one rule goes on its own line::
+
+    # simlint: disable-file=yield-discipline
+
+Pragmas are matched against the line a violation is reported on, so for a
+multi-line statement the pragma belongs on the line the flagged expression
+starts on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Set
+
+_PRAGMA = re.compile(r"#\s*simlint:\s*(disable(?:-file)?)\s*=\s*"
+                     r"([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
+
+
+class PragmaIndex:
+    """Pre-parsed suppression pragmas for one source file."""
+
+    def __init__(self, source: str):
+        #: line number (1-based) -> set of rule names disabled on that line.
+        self._by_line: Dict[int, Set[str]] = {}
+        #: rule names disabled for the whole file.
+        self._file_wide: Set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "simlint" not in text:
+                continue
+            for match in _PRAGMA.finditer(text):
+                kind, names = match.group(1), match.group(2)
+                rules = {name.strip() for name in names.split(",")}
+                if kind == "disable-file":
+                    self._file_wide |= rules
+                else:
+                    self._by_line.setdefault(lineno, set()).update(rules)
+
+    def is_disabled(self, line: int, rule: str) -> bool:
+        """True if ``rule`` is suppressed at ``line``."""
+        if rule in self._file_wide or "all" in self._file_wide:
+            return True
+        rules = self._by_line.get(line)
+        return rules is not None and (rule in rules or "all" in rules)

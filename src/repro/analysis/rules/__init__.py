@@ -1,0 +1,25 @@
+"""The built-in simlint rule set.
+
+Importing this package registers every rule with the
+:mod:`repro.analysis.core` registry.  New rules live in their own module
+here, decorated with :func:`repro.analysis.core.register`.
+"""
+
+from repro.analysis.core import create_rules
+from repro.analysis.rules.randomness import NoGlobalRandomRule
+from repro.analysis.rules.resource_leak import ResourceLeakRule
+from repro.analysis.rules.wallclock import NoWallclockRule
+from repro.analysis.rules.yields import YieldDisciplineRule
+
+__all__ = [
+    "NoGlobalRandomRule",
+    "NoWallclockRule",
+    "ResourceLeakRule",
+    "YieldDisciplineRule",
+    "default_rules",
+]
+
+
+def default_rules():
+    """Fresh instances of every registered rule."""
+    return create_rules()

@@ -1,0 +1,56 @@
+"""Rule ``no-global-random``: ban unseeded / global randomness.
+
+Determinism requires every draw to come from an explicitly seeded
+generator — ideally a named :class:`repro.sim.rng.RandomStreams` stream.
+Flagged:
+
+* calls to module-level ``random`` functions (``random.random()``,
+  ``random.randint()``, ``random.seed()``, ...), which draw from the
+  interpreter-global generator shared by every caller;
+* ``random.Random()`` constructed with no arguments (seeded from the OS);
+* any use of ``random.SystemRandom`` (never reproducible).
+
+Seeded construction (``random.Random(seed)``) is allowed: several
+components derive stable per-instance seeds by hashing their names.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import LintContext, Rule, Violation, register
+
+
+@register
+class NoGlobalRandomRule(Rule):
+    name = "no-global-random"
+    description = ("bans the module-global random generator and unseeded "
+                   "random.Random(); draw from repro.sim.rng.RandomStreams")
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualname = ctx.resolve(node.func)
+            if qualname is None or not qualname.startswith("random."):
+                continue
+            if qualname == "random.Random":
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        ctx, node,
+                        "unseeded random.Random() is seeded from the OS; "
+                        "pass an explicit seed or use "
+                        "repro.sim.rng.RandomStreams")
+            elif qualname.startswith("random.SystemRandom"):
+                yield self.violation(
+                    ctx, node,
+                    "random.SystemRandom draws from the OS entropy pool "
+                    "and can never be reproduced; use a seeded stream")
+            else:
+                function = qualname.split(".", 1)[1]
+                yield self.violation(
+                    ctx, node,
+                    f"random.{function}() draws from the interpreter-global "
+                    f"generator, coupling every caller's randomness; use a "
+                    f"named repro.sim.rng.RandomStreams stream")

@@ -1,0 +1,150 @@
+"""Rule ``resource-leak``: every granted slot must be released on all paths.
+
+Targets the ``Resource.request()`` / ``Lock.acquire()`` idiom: a request
+call (an attribute call named ``request``/``acquire`` with at most one
+argument) must either
+
+* be used as a context manager (``with res.request() as req: yield req``),
+  which releases on every exit path, or
+* have its grant bound to a local name whose ``.release(grant)`` (or
+  ``.cancel(grant)``) is guaranteed by a ``finally`` block.
+
+A grant that is bound but released outside any ``finally`` leaks whenever
+the critical section raises; a grant that is yielded without being bound
+can never be released at all.  Grants that escape the function (returned,
+stored, or passed to other calls) are skipped — cross-function pairing,
+as in ``VReadChannel.acquire``/``release``, cannot be checked locally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.core import LintContext, Rule, Violation, register
+
+_REQUEST_ATTRS = frozenset({"request", "acquire"})
+_RELEASE_ATTRS = frozenset({"release", "cancel"})
+
+
+def _parent_map(func: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(func):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _finally_nodes(func: ast.AST) -> Set[int]:
+    """ids of every node nested inside some ``finally`` block of ``func``."""
+    inside: Set[int] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try):
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    inside.add(id(sub))
+    return inside
+
+
+def _is_request_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _REQUEST_ATTRS
+            and len(node.args) + len(node.keywords) <= 1)
+
+
+def _release_target(node: ast.AST) -> Optional[str]:
+    """Name released by a ``X.release(name)`` / ``X.cancel(name)`` call."""
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RELEASE_ATTRS
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Name)):
+        return node.args[0].id
+    return None
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@register
+class ResourceLeakRule(Rule):
+    name = "resource-leak"
+    description = ("every Resource.request()/Lock.acquire() must be "
+                   "released on all paths (try/finally) or used via 'with'")
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for func in _functions(ctx.tree):
+            yield from self._check_function(ctx, func)
+
+    # ------------------------------------------------------------ internals
+    def _check_function(self, ctx: LintContext,
+                        func: ast.AST) -> Iterator[Violation]:
+        parents = _parent_map(func)
+        in_finally = _finally_nodes(func)
+        for call in ast.walk(func):
+            if not _is_request_call(call):
+                continue
+            parent = parents.get(call)
+            if isinstance(parent, ast.withitem):
+                continue  # `with res.request() as req:` releases on exit
+            if isinstance(parent, ast.Return):
+                continue  # grant escapes to the caller
+            # Unwrap `yield`/`yield from` around the request call.
+            holder = parent
+            if isinstance(parent, (ast.Yield, ast.YieldFrom)):
+                holder = parents.get(parent)
+                if isinstance(holder, ast.Expr):
+                    yield self.violation(
+                        ctx, call,
+                        f"slot from .{call.func.attr}() is granted but the "
+                        f"grant is discarded, so it can never be released; "
+                        f"bind it or use 'with'")
+                    continue
+            if (isinstance(holder, ast.Assign)
+                    and len(holder.targets) == 1
+                    and isinstance(holder.targets[0], ast.Name)):
+                name = holder.targets[0].id
+                yield from self._check_tracked(ctx, func, parents, in_finally,
+                                               call, name)
+            # Other shapes (call arguments, comprehensions, ...) carry the
+            # grant somewhere this local analysis cannot follow; skip.
+
+    def _check_tracked(self, ctx: LintContext, func: ast.AST,
+                       parents: Dict[ast.AST, ast.AST],
+                       in_finally: Set[int], call: ast.Call,
+                       name: str) -> Iterator[Violation]:
+        releases: List[ast.Call] = []
+        escapes = False
+        for node in ast.walk(func):
+            if _release_target(node) == name:
+                releases.append(node)
+                continue
+            if not (isinstance(node, ast.Name) and node.id == name
+                    and isinstance(node.ctx, ast.Load)):
+                continue
+            parent = parents.get(node)
+            # Waiting on the grant (`yield name`) and releasing it are the
+            # only uses that keep it local; anything else may smuggle the
+            # grant out of the function, so give it the benefit of the doubt.
+            if isinstance(parent, (ast.Yield, ast.YieldFrom)):
+                continue
+            if _release_target(parent) == name:
+                continue
+            escapes = True
+        if escapes:
+            return
+        if not releases:
+            yield self.violation(
+                ctx, call,
+                f"grant {name!r} from .{call.func.attr}() is never "
+                f"released; release it in a 'finally' or use 'with'")
+        elif not any(id(node) in in_finally for node in releases):
+            yield self.violation(
+                ctx, call,
+                f"grant {name!r} from .{call.func.attr}() is released, but "
+                f"not on all paths — move the release into a 'finally' "
+                f"block or use 'with'")

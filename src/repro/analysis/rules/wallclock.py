@@ -1,0 +1,63 @@
+"""Rule ``no-wallclock``: ban wall-clock reads inside the simulation.
+
+Simulated time comes only from ``Simulator.now``; any call that reads the
+host's clock (``time.time``, ``datetime.now``, ...) or blocks the host
+(``time.sleep``) makes runs irreproducible and corrupts the paper's
+CPU/latency comparisons.  Code that legitimately measures host elapsed
+time (e.g. the experiment runner's "wall time" report) is exempted either
+with a per-line pragma or by listing its path in the rule's allowlist.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Iterator, Sequence
+
+from repro.analysis.core import LintContext, Rule, Violation, register
+
+#: Qualified names whose *call* reads the host clock or blocks the host.
+BANNED_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.sleep",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+
+@register
+class NoWallclockRule(Rule):
+    name = "no-wallclock"
+    description = ("bans wall-clock/host-time calls (time.time, "
+                   "datetime.now, time.sleep, ...); simulation time must "
+                   "come from Simulator.now")
+
+    def __init__(self, allow: Sequence[str] = ()):
+        #: Glob patterns of file paths exempt from this rule.
+        self.allow = tuple(allow)
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        if any(fnmatch(ctx.path, pattern) for pattern in self.allow):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualname = ctx.resolve(node.func)
+            if qualname in BANNED_CALLS:
+                yield self.violation(
+                    ctx, node,
+                    f"call to {qualname}() reads the host clock; use "
+                    f"Simulator.now / sim.timeout() for simulated time "
+                    f"(or annotate a legitimate host-side measurement "
+                    f"with '# simlint: disable={self.name}')")

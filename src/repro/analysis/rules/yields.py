@@ -1,0 +1,67 @@
+"""Rule ``yield-discipline``: sim processes must yield Events, not values.
+
+The kernel drives process generators by yielding
+:class:`~repro.sim.events.Event` objects; yielding a bare value is always
+a bug (the kernel raises at runtime, but only on the execution path that
+reaches the yield).  Static typing cannot see through the generator
+protocol, so this rule flags yields that *cannot* be events:
+
+* a bare ``yield`` (yields ``None``);
+* literals/constants (``yield 5``, ``yield "x"``, ``yield None``);
+* container displays (``yield [a]``, ``yield (a, b)``, ``yield {...}``);
+* comparisons and boolean operators (``yield a == b``, ``yield a and b``);
+* f-strings.
+
+``yield from`` is delegation and is never flagged; nor are yields of
+names/calls/attributes, which may legitimately produce events.  Data
+iterators that really do yield containers can opt out per line with
+``# simlint: disable=yield-discipline``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import LintContext, Rule, Violation, register
+
+_NON_EVENT_NODES = (ast.Constant, ast.List, ast.Tuple, ast.Set, ast.Dict,
+                    ast.Compare, ast.BoolOp, ast.JoinedStr)
+
+
+def _own_yields(func: ast.AST) -> Iterator[ast.Yield]:
+    """Yield statements belonging to ``func`` itself (not nested defs)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Yield):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class YieldDisciplineRule(Rule):
+    name = "yield-discipline"
+    description = ("generator processes must only yield Event-producing "
+                   "expressions, never bare values or literals")
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in _own_yields(func):
+                if node.value is None:
+                    yield self.violation(
+                        ctx, node,
+                        f"bare 'yield' in {func.name!r} yields None, which "
+                        f"the sim kernel rejects; yield an Event")
+                elif isinstance(node.value, _NON_EVENT_NODES):
+                    kind = type(node.value).__name__.lower()
+                    yield self.violation(
+                        ctx, node,
+                        f"{func.name!r} yields a {kind}, which can never be "
+                        f"an Event; sim processes must yield events "
+                        f"(sim.timeout(...), resource requests, ...)")

@@ -1,0 +1,63 @@
+"""File discovery and rule execution for simlint."""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.core import LintContext, Rule, Violation
+from repro.analysis.imports import collect_aliases
+from repro.analysis.pragmas import PragmaIndex
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+                found.extend(os.path.join(root, f) for f in sorted(files)
+                             if f.endswith(".py"))
+        elif os.path.isfile(path):
+            found.append(path)
+        else:
+            raise FileNotFoundError(path)
+    return found
+
+
+def lint_source(source: str, rules: Iterable[Rule],
+                path: str = "<string>") -> List[Violation]:
+    """Lint one module's source text; returns pragma-filtered violations."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path=path, line=exc.lineno or 0,
+                          col=(exc.offset or 0) or 1, rule="syntax-error",
+                          message=str(exc.msg))]
+    ctx = LintContext(path=path, source=source, tree=tree,
+                      aliases=collect_aliases(tree))
+    pragmas = PragmaIndex(source)
+    violations = [v for rule in rules for v in rule.check(ctx)
+                  if not pragmas.is_disabled(v.line, v.rule)]
+    return sorted(violations)
+
+
+def lint_file(path: str, rules: Iterable[Rule]) -> List[Violation]:
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, rules, path=path)
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Optional[Iterable[Rule]] = None) -> List[Violation]:
+    """Lint every ``.py`` file under ``paths`` with ``rules`` (default: all)."""
+    if rules is None:
+        from repro.analysis.rules import default_rules
+        rules = default_rules()
+    rules = list(rules)
+    violations: List[Violation] = []
+    for path in discover_files(paths):
+        violations.extend(lint_file(path, rules))
+    return violations

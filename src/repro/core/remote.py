@@ -54,12 +54,10 @@ class BaseTransport:
     def request(self, peer_service, request: RemoteRequest):
         """Generator: send ``request`` to ``peer_service``; returns response."""
         conduit, lock = self._conduit_to(peer_service)
-        token = yield lock.acquire()
-        try:
+        with lock.acquire() as token:
+            yield token
             response = yield from self._roundtrip(conduit, peer_service,
                                                   request)
-        finally:
-            lock.release(token)
         return response
 
     def _conduit_to(self, peer_service):

@@ -148,8 +148,8 @@ class CpuScheduler:
             raise SimulationError(f"negative cycle count {cycles}")
         if cycles == 0:
             return
-        token = yield thread._mutex.acquire()
-        try:
+        with thread._mutex.acquire() as token:
+            yield token
             remaining = float(cycles)
             # CFS wake-affinity stacking: under load, this wakeup may land
             # behind a busy core instead of finding the idle one, waiting a
@@ -204,8 +204,6 @@ class CpuScheduler:
             finally:
                 if on_core:
                     self._release_core()
-        finally:
-            thread._mutex.release(token)
 
     def __repr__(self) -> str:
         return (f"<CpuScheduler cores={self.cores} "

@@ -29,13 +29,11 @@ class HostNic:
         """Generator: occupy the wire for ``nbytes`` (sender side)."""
         if nbytes < 0:
             raise ValueError(f"negative transmit size {nbytes}")
-        grant = yield self._tx.request()
-        try:
+        with self._tx.request() as grant:
+            yield grant
             yield self.sim.timeout(
                 nbytes / self.costs.nic_bandwidth_bytes_per_sec)
             self.bytes_sent += nbytes
-        finally:
-            self._tx.release(grant)
 
     def __repr__(self) -> str:
         return f"<HostNic {self.host.name} tx={self.bytes_sent}B>"

@@ -27,13 +27,22 @@ from repro.sim.events import (
     AnyOf,
     Event,
     Interrupt,
+    SanitizerError,
     SimulationError,
     Timeout,
 )
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
-from repro.sim.resources import Container, Lock, PriorityResource, Resource, Store
+from repro.sim.resources import (
+    Container,
+    Lock,
+    PriorityResource,
+    Request,
+    Resource,
+    Store,
+)
 from repro.sim.rng import RandomStreams
+from repro.sim.sanitizer import Sanitizer
 
 __all__ = [
     "AllOf",
@@ -45,7 +54,10 @@ __all__ = [
     "PriorityResource",
     "Process",
     "RandomStreams",
+    "Request",
     "Resource",
+    "Sanitizer",
+    "SanitizerError",
     "SimulationError",
     "Simulator",
     "Store",

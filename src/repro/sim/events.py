@@ -19,6 +19,15 @@ class SimulationError(Exception):
     """Raised for misuse of the simulation kernel (double triggers etc.)."""
 
 
+class SanitizerError(SimulationError):
+    """An invariant violation caught by the runtime sanitizer.
+
+    Raised only when the owning :class:`~repro.sim.kernel.Simulator` was
+    created with ``sanitize=True`` (or ``REPRO_SANITIZE=1``); carries a
+    readable diagnostic naming the offending processes/resources.
+    """
+
+
 class Interrupt(Exception):
     """Raised inside a process that was interrupted by another process.
 
@@ -39,7 +48,7 @@ class Event:
     exception is re-raised inside that process.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "_strace")
 
     def __init__(self, sim: "Simulator"):  # noqa: F821 - forward ref
         self.sim = sim
@@ -48,6 +57,8 @@ class Event:
         self._value: Any = _PENDING
         self._ok = True
         self._defused = False
+        #: (time, process name) of the first trigger — sanitizer mode only.
+        self._strace: Optional[tuple] = None
 
     # ------------------------------------------------------------------ state
     @property
@@ -73,12 +84,24 @@ class Event:
         return self._value
 
     # ------------------------------------------------------------- triggering
+    def _already_triggered_error(self) -> SimulationError:
+        sanitizer = getattr(self.sim, "sanitizer", None)
+        if sanitizer is not None:
+            return sanitizer.double_trigger_error(self)
+        return SimulationError(f"{self!r} already triggered")
+
+    def _note_trigger(self) -> None:
+        sanitizer = getattr(self.sim, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.note_trigger(self)
+
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully with ``value`` after ``delay``."""
         if self._value is not _PENDING:
-            raise SimulationError(f"{self!r} already triggered")
+            raise self._already_triggered_error()
         self._ok = True
         self._value = value
+        self._note_trigger()
         self.sim._enqueue(delay, self)
         return self
 
@@ -87,9 +110,10 @@ class Event:
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
         if self._value is not _PENDING:
-            raise SimulationError(f"{self!r} already triggered")
+            raise self._already_triggered_error()
         self._ok = False
         self._value = exception
+        self._note_trigger()
         self.sim._enqueue(delay, self)
         return self
 
@@ -130,6 +154,7 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
+        self._note_trigger()
         sim._enqueue(delay, self)
 
     def __repr__(self) -> str:

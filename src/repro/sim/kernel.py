@@ -3,25 +3,38 @@
 :class:`Simulator` owns the clock and the event heap.  Time is a float in
 **seconds**.  Ties are broken by insertion order, making runs fully
 deterministic.
+
+Passing ``sanitize=True`` (or setting ``REPRO_SANITIZE=1`` in the
+environment) arms the runtime sanitizer: non-monotonic clock advances,
+double-triggered events, leaked resource slots and deadlocked waiters then
+raise :class:`~repro.sim.events.SanitizerError` with a diagnostic naming
+the offending processes.  See :mod:`repro.sim.sanitizer`.
 """
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
 from typing import Any, Generator, Optional
 
 from repro.sim.events import Event, SimulationError, Timeout
 from repro.sim.process import Process
+from repro.sim.sanitizer import Sanitizer
 
 
 class Simulator:
     """Discrete-event simulator: clock, event heap, and run loop."""
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: Optional[bool] = None) -> None:
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
         self._now: float = 0.0
         self._heap: list = []
         self._seq: int = 0
         self._active_process: Optional[Process] = None
+        #: Runtime invariant checker; ``None`` unless sanitize mode is on.
+        self.sanitizer: Optional[Sanitizer] = (
+            Sanitizer(self) if sanitize else None)
 
     # ----------------------------------------------------------------- clock
     @property
@@ -58,6 +71,8 @@ class Simulator:
     def _step(self) -> None:
         """Process the next event on the heap."""
         when, _, event = heappop(self._heap)
+        if self.sanitizer is not None and when < self._now:
+            raise self.sanitizer.non_monotonic_error(when)
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None
@@ -83,11 +98,15 @@ class Simulator:
             return
         while self._heap:
             self._step()
+        if self.sanitizer is not None:
+            self.sanitizer.check_quiescence()
 
     def run_until_complete(self, process: Process) -> Any:
         """Run until ``process`` finishes; return its value (or re-raise)."""
         while not process.triggered:
             if not self._heap:
+                if self.sanitizer is not None:
+                    raise self.sanitizer.deadlock_error(process)
                 raise SimulationError(
                     "event heap exhausted before process completed (deadlock?)")
             self._step()

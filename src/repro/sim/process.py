@@ -12,7 +12,7 @@ other by yielding them.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Generator, Optional
 
 from repro.sim.events import Event, Interrupt, SimulationError
 
@@ -29,8 +29,10 @@ class Process(Event):
         super().__init__(sim)
         self._generator = generator
         #: The event this process is currently waiting on (None if running).
-        self._target: Event = None
+        self._target: Optional[Event] = None
         self.name = getattr(generator, "__name__", type(generator).__name__)
+        if sim.sanitizer is not None:
+            sim.sanitizer.register_process(self)
         # Kick the process off via an immediately-scheduled initial event.
         start = Event(sim)
         start.callbacks.append(self._resume)

@@ -8,22 +8,45 @@ vRead simulation needs.  All waiters are served FIFO (or by priority for
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappop, heappush
-from typing import Any, Deque, List, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Deque, Iterable, List, Optional
 
 from repro.sim.events import Event, SimulationError
 
 
 class Request(Event):
-    """The event returned by :meth:`Resource.request`; fires on acquisition."""
+    """The event returned by :meth:`Resource.request`; fires on acquisition.
 
-    __slots__ = ("resource",)
+    A request is a context manager, so the release is guaranteed on every
+    exit path::
+
+        with resource.request() as req:
+            yield req          # wait for the slot
+            ...critical section...
+
+    On ``with``-exit a granted slot is released; a request that is still
+    queued (e.g. the waiting process was interrupted) is withdrawn instead.
+    Manual ``request()``/``release()`` pairing still works but must release
+    on all paths — the ``resource-leak`` simlint rule checks this.
+    """
+
+    __slots__ = ("resource", "owner")
 
     def __init__(self, resource: "Resource"):
         super().__init__(resource.sim)
         self.resource = resource
+        #: The process that issued the request (None outside any process).
+        self.owner = resource.sim.active_process
 
-    # Support `with`-less manual management only; release via resource.
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        if self.triggered:
+            self.resource.release(self)
+        else:
+            self.resource.cancel(self)
+        return False
 
 
 class Resource:
@@ -36,6 +59,8 @@ class Resource:
         self.capacity = capacity
         self._users: List[Request] = []
         self._queue: Deque[Request] = deque()
+        if sim.sanitizer is not None:
+            sim.sanitizer.register_resource(self)
 
     @property
     def count(self) -> int:
@@ -75,6 +100,14 @@ class Resource:
         except ValueError:
             raise SimulationError("cancelling a request that is not queued")
 
+    def queued_requests(self) -> Iterable[Request]:
+        """The requests currently waiting for a slot (sanitizer reports)."""
+        return tuple(self._queue)
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} capacity={self.capacity} "
+                f"held={self.count} queued={self.queue_length}>")
+
 
 class PriorityResource(Resource):
     """A resource whose waiters are served lowest-priority-value first."""
@@ -108,15 +141,27 @@ class PriorityResource(Resource):
             self._users.append(nxt)
             nxt.succeed(nxt)
 
+    def cancel(self, request: Request) -> None:
+        """Withdraw a queued (not yet granted) request."""
+        for index, (_, _, queued) in enumerate(self._pqueue):
+            if queued is request:
+                del self._pqueue[index]
+                heapify(self._pqueue)
+                return
+        raise SimulationError("cancelling a request that is not queued")
+
+    def queued_requests(self) -> Iterable[Request]:
+        return tuple(request for _, _, request in self._pqueue)
+
 
 class Lock:
     """A mutual-exclusion convenience wrapper around a capacity-1 resource.
 
     Usage inside a process::
 
-        holder = yield lock.acquire()
-        ...critical section...
-        lock.release(holder)
+        with lock.acquire() as holder:
+            yield holder
+            ...critical section...
     """
 
     def __init__(self, sim: "Simulator"):  # noqa: F821

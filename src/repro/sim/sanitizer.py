@@ -1,0 +1,135 @@
+"""Runtime sanitizer for the simulation kernel.
+
+The kernel's determinism and resource-safety claims are enforced by
+convention in normal runs; with ``Simulator(sanitize=True)`` (or the
+``REPRO_SANITIZE=1`` environment variable) they become machine-checked
+invariants.  The sanitizer watches four hazard classes:
+
+* **non-monotonic clock** — an event popped from the heap with a timestamp
+  earlier than the current simulation time;
+* **double trigger** — ``succeed``/``fail`` called on an event that has
+  already been given a value (diagnosed with who triggered it first, and
+  when);
+* **leaked resource slots** — the event heap drains while a
+  :class:`~repro.sim.resources.Resource` slot is still held;
+* **deadlock** — the event heap drains while requests are still queued on
+  a resource (the waiters can never be woken).
+
+Every failure raises :class:`~repro.sim.events.SanitizerError` carrying a
+readable diagnostic that names the owning/waiting processes.
+
+The sanitizer costs a little memory (it keeps references to every process
+and resource), so it is off by default and intended for tests and CI.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.sim.events import Event, SanitizerError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.kernel import Simulator
+    from repro.sim.process import Process
+    from repro.sim.resources import Request, Resource
+
+
+class Sanitizer:
+    """Collects live kernel objects and checks invariants over them."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._resources: List["Resource"] = []
+        self._processes: List["Process"] = []
+
+    # ---------------------------------------------------------- registration
+    def register_resource(self, resource: "Resource") -> None:
+        self._resources.append(resource)
+
+    def register_process(self, process: "Process") -> None:
+        self._processes.append(process)
+
+    # ----------------------------------------------------------------- hooks
+    def _process_name(self, process: Optional["Process"]) -> str:
+        return process.name if process is not None else "<no process>"
+
+    def current_process_name(self) -> str:
+        return self._process_name(self.sim.active_process)
+
+    def note_trigger(self, event: Event) -> None:
+        """Record who triggered ``event`` (for double-trigger diagnostics)."""
+        event._strace = (self.sim.now, self.current_process_name())
+
+    def double_trigger_error(self, event: Event) -> SanitizerError:
+        first = event._strace
+        if first is not None:
+            first_time, first_proc = first
+            detail = (f"first triggered at t={first_time:g} by "
+                      f"process {first_proc!r}")
+        else:
+            detail = "first triggered before sanitizer tracking began"
+        return SanitizerError(
+            f"{event!r} triggered twice: {detail}; "
+            f"triggered again at t={self.sim.now:g} by process "
+            f"{self.current_process_name()!r}")
+
+    def non_monotonic_error(self, when: float) -> SanitizerError:
+        return SanitizerError(
+            f"non-monotonic clock advance: popped an event scheduled at "
+            f"t={when:g} while the clock already reads t={self.sim.now:g}")
+
+    # ----------------------------------------------------------- quiescence
+    def _held_slots(self) -> List[Tuple["Resource", "Request"]]:
+        return [(res, req) for res in self._resources for req in res._users]
+
+    def _queued_requests(self) -> List[Tuple["Resource", "Request"]]:
+        return [(res, req) for res in self._resources
+                for req in res.queued_requests()]
+
+    def _waiting_processes(self) -> List["Process"]:
+        return [p for p in self._processes
+                if p.is_alive and p._target is not None]
+
+    def quiescence_report(self) -> str:
+        """Readable dump of held slots, blocked requests, alive processes."""
+        lines = [f"at t={self.sim.now:g} with the event heap drained:"]
+        held = self._held_slots()
+        if held:
+            lines.append("  leaked resource slots:")
+            for res, req in held:
+                lines.append(f"    {res!r}: slot held by process "
+                             f"{self._process_name(req.owner)!r}")
+        queued = self._queued_requests()
+        if queued:
+            lines.append("  blocked requests (deadlock - no event can "
+                         "ever grant them):")
+            for res, req in queued:
+                lines.append(f"    {res!r}: process "
+                             f"{self._process_name(req.owner)!r} waiting "
+                             f"for a slot")
+        waiting = self._waiting_processes()
+        if waiting:
+            lines.append("  processes still alive:")
+            for process in waiting:
+                lines.append(f"    {process!r} waiting on "
+                             f"{process._target!r}")
+        return "\n".join(lines)
+
+    def check_quiescence(self) -> None:
+        """Raise if the drained simulation left slots held or waiters queued.
+
+        Processes parked on plain events (e.g. idle server loops waiting on
+        a :class:`~repro.sim.resources.Store`) are reported but are not, by
+        themselves, an error — that is the normal end state of a
+        discrete-event run.
+        """
+        if self._held_slots() or self._queued_requests():
+            raise SanitizerError(
+                "simulation quiesced with leaked resource slots or "
+                "deadlocked waiters\n" + self.quiescence_report())
+
+    def deadlock_error(self, process: "Process") -> SanitizerError:
+        """Heap exhausted before ``process`` completed."""
+        return SanitizerError(
+            f"event heap exhausted before process {process.name!r} "
+            f"completed (deadlock)\n" + self.quiescence_report())

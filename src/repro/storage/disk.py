@@ -37,25 +37,21 @@ class SsdDevice:
         """Generator: occupy the device for a read of ``nbytes``."""
         if nbytes < 0:
             raise ValueError(f"negative read size {nbytes}")
-        grant = yield self._channel.request()
-        try:
+        with self._channel.request() as grant:
+            yield grant
             yield self.sim.timeout(self._service_time(nbytes))
             self.bytes_read += nbytes
             self.requests += 1
-        finally:
-            self._channel.release(grant)
 
     def write(self, nbytes: int):
         """Generator: occupy the device for a write of ``nbytes``."""
         if nbytes < 0:
             raise ValueError(f"negative write size {nbytes}")
-        grant = yield self._channel.request()
-        try:
+        with self._channel.request() as grant:
+            yield grant
             yield self.sim.timeout(self._service_time(nbytes))
             self.bytes_written += nbytes
             self.requests += 1
-        finally:
-            self._channel.release(grant)
 
     @property
     def queue_depth(self) -> int:

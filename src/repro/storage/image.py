@@ -15,7 +15,7 @@ re-read behaviour.
 
 from __future__ import annotations
 
-from typing import Hashable, Tuple
+from typing import Hashable, Optional, Tuple
 
 from repro.storage.filesystem import FileSystem, Inode
 
@@ -23,7 +23,7 @@ from repro.storage.filesystem import FileSystem, Inode
 class DiskImage:
     """A raw VM disk image: identity + the guest filesystem inside it."""
 
-    def __init__(self, name: str, guest_fs: FileSystem = None):
+    def __init__(self, name: str, guest_fs: Optional[FileSystem] = None):
         self.name = name
         self.guest_fs = guest_fs if guest_fs is not None else FileSystem(
             name=f"{name}-fs")

@@ -1,0 +1,76 @@
+"""no-global-random: module-global draws and unseeded generators."""
+
+import textwrap
+
+from repro.analysis.rules.randomness import NoGlobalRandomRule
+from repro.analysis.runner import lint_source
+
+
+def lint(snippet):
+    return lint_source(textwrap.dedent(snippet), [NoGlobalRandomRule()])
+
+
+def test_module_level_draw_flagged():
+    violations = lint("""
+        import random
+
+        def pick(items):
+            return items[random.randint(0, len(items) - 1)]
+        """)
+    assert len(violations) == 1
+    assert violations[0].rule == "no-global-random"
+    assert "random.randint" in violations[0].message
+
+
+def test_from_import_draw_flagged():
+    violations = lint("""
+        from random import random as rnd
+
+        def f():
+            return rnd()
+        """)
+    assert len(violations) == 1
+
+
+def test_unseeded_random_flagged_seeded_allowed():
+    violations = lint("""
+        import random
+
+        bad = random.Random()
+        good = random.Random(42)
+        also_good = random.Random(x=1)
+        """)
+    assert len(violations) == 1
+    assert violations[0].line == 4
+    assert "unseeded" in violations[0].message
+
+
+def test_system_random_flagged():
+    violations = lint("""
+        import random
+
+        gen = random.SystemRandom()
+        """)
+    assert len(violations) == 1
+    assert "SystemRandom" in violations[0].message
+
+
+def test_instance_methods_pass():
+    violations = lint("""
+        import random
+
+        def f(rng: random.Random):
+            return rng.random() + rng.randint(1, 6)
+        """)
+    assert violations == []
+
+
+def test_random_streams_idiom_passes():
+    violations = lint("""
+        from repro.sim.rng import RandomStreams
+
+        def f():
+            streams = RandomStreams(seed=7)
+            return streams.stream("sched").random()
+        """)
+    assert violations == []

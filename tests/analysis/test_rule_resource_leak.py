@@ -1,0 +1,120 @@
+"""resource-leak: grants must be released on all paths or used via with."""
+
+import textwrap
+
+from repro.analysis.rules.resource_leak import ResourceLeakRule
+from repro.analysis.runner import lint_source
+
+
+def lint(snippet):
+    return lint_source(textwrap.dedent(snippet), [ResourceLeakRule()])
+
+
+def test_never_released_flagged():
+    violations = lint("""
+        def proc(sim, res):
+            grant = yield res.request()
+            yield sim.timeout(1)
+        """)
+    assert len(violations) == 1
+    assert violations[0].rule == "resource-leak"
+    assert "never released" in violations[0].message
+
+
+def test_release_outside_finally_flagged():
+    violations = lint("""
+        def proc(sim, res):
+            grant = yield res.request()
+            yield sim.timeout(1)
+            res.release(grant)
+        """)
+    assert len(violations) == 1
+    assert "not on all paths" in violations[0].message
+
+
+def test_release_in_finally_passes():
+    violations = lint("""
+        def proc(sim, res):
+            grant = yield res.request()
+            try:
+                yield sim.timeout(1)
+            finally:
+                res.release(grant)
+        """)
+    assert violations == []
+
+
+def test_with_statement_passes():
+    violations = lint("""
+        def proc(sim, res, lock):
+            with res.request() as grant:
+                yield grant
+                yield sim.timeout(1)
+            with lock.acquire() as token:
+                yield token
+        """)
+    assert violations == []
+
+
+def test_discarded_grant_flagged():
+    violations = lint("""
+        def proc(sim, res):
+            yield res.request()
+            yield sim.timeout(1)
+        """)
+    assert len(violations) == 1
+    assert "discarded" in violations[0].message
+
+
+def test_lock_acquire_tracked_like_request():
+    violations = lint("""
+        def proc(sim, lock):
+            token = yield lock.acquire()
+            yield sim.timeout(1)
+        """)
+    assert len(violations) == 1
+
+
+def test_escaping_grant_skipped():
+    # Cross-function pairing (VReadChannel.acquire/release style) cannot be
+    # decided locally: returning the grant hands responsibility upward.
+    violations = lint("""
+        def begin(self):
+            token = yield self._lock.acquire()
+            return token
+
+        def make(res):
+            return res.request()
+        """)
+    assert violations == []
+
+
+def test_grant_passed_to_helper_skipped():
+    violations = lint("""
+        def proc(sim, res, registry):
+            grant = yield res.request()
+            registry.adopt(grant)
+        """)
+    assert violations == []
+
+
+def test_two_arg_request_calls_ignored():
+    # BaseTransport.request(peer, message) is an RPC, not a slot request.
+    violations = lint("""
+        def proc(self, peer, message):
+            response = yield from self.transport.request(peer, message)
+            return response
+        """)
+    assert violations == []
+
+
+def test_cancel_in_finally_counts_as_release():
+    violations = lint("""
+        def proc(sim, res):
+            grant = yield res.request()
+            try:
+                yield sim.timeout(1)
+            finally:
+                res.cancel(grant)
+        """)
+    assert violations == []

@@ -1,0 +1,84 @@
+"""no-wallclock: bans host-clock reads however the module was imported."""
+
+import textwrap
+
+from repro.analysis.rules.wallclock import NoWallclockRule
+from repro.analysis.runner import lint_source
+
+
+def lint(snippet, rule=None):
+    return lint_source(textwrap.dedent(snippet), [rule or NoWallclockRule()])
+
+
+def test_time_time_flagged():
+    violations = lint("""
+        import time
+
+        def measure():
+            return time.time()
+        """)
+    assert len(violations) == 1
+    assert violations[0].rule == "no-wallclock"
+    assert violations[0].line == 5
+    assert "time.time" in violations[0].message
+
+
+def test_time_sleep_and_perf_counter_flagged():
+    violations = lint("""
+        import time
+
+        def nap():
+            time.sleep(1)
+            return time.perf_counter()
+        """)
+    assert [v.line for v in violations] == [5, 6]
+
+
+def test_from_import_and_alias_resolved():
+    violations = lint("""
+        import time as t
+        from time import monotonic
+
+        def f():
+            return t.time() + monotonic()
+        """)
+    assert len(violations) == 2
+
+
+def test_datetime_now_flagged():
+    violations = lint("""
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now()
+        """)
+    assert len(violations) == 1
+    assert "datetime.datetime.now" in violations[0].message
+
+
+def test_sim_time_passes():
+    violations = lint("""
+        def proc(sim):
+            start = sim.now
+            yield sim.timeout(1.5)
+            return sim.now - start
+        """)
+    assert violations == []
+
+
+def test_local_name_called_time_not_flagged():
+    # A locally-defined `time` shadows nothing we track: it was never
+    # imported, so the rule must not resolve it to the stdlib module.
+    violations = lint("""
+        def f():
+            time = make_clock()
+            return time.time()
+        """)
+    assert violations == []
+
+
+def test_allowlist_exempts_matching_paths():
+    snippet = "import time\nx = time.time()\n"
+    rule = NoWallclockRule(allow=("*/benchmarks/*",))
+    assert lint_source(snippet, [rule], path="proj/benchmarks/run.py") == []
+    assert len(lint_source(snippet, [rule], path="proj/src/run.py")) == 1

@@ -1,0 +1,73 @@
+"""yield-discipline: processes yield events, never bare values."""
+
+import textwrap
+
+from repro.analysis.rules.yields import YieldDisciplineRule
+from repro.analysis.runner import lint_source
+
+
+def lint(snippet):
+    return lint_source(textwrap.dedent(snippet), [YieldDisciplineRule()])
+
+
+def test_bare_yield_flagged():
+    violations = lint("""
+        def proc(sim):
+            yield
+        """)
+    assert len(violations) == 1
+    assert "bare 'yield'" in violations[0].message
+
+
+def test_literal_yields_flagged():
+    violations = lint("""
+        def proc(sim):
+            yield 5
+            yield "done"
+            yield None
+        """)
+    assert [v.line for v in violations] == [3, 4, 5]
+    assert all(v.rule == "yield-discipline" for v in violations)
+
+
+def test_container_and_comparison_yields_flagged():
+    violations = lint("""
+        def proc(sim, a, b):
+            yield (a, b)
+            yield [a]
+            yield a == b
+            yield a and b
+        """)
+    assert len(violations) == 4
+
+
+def test_event_yields_pass():
+    violations = lint("""
+        def proc(sim, resource):
+            yield sim.timeout(1.0)
+            with resource.request() as req:
+                yield req
+            event = sim.event()
+            yield event | sim.timeout(5)
+            yield from other(sim)
+        """)
+    assert violations == []
+
+
+def test_nested_function_attributed_to_inner():
+    violations = lint("""
+        def outer(sim):
+            def inner():
+                yield 1
+            yield sim.timeout(1)
+        """)
+    assert len(violations) == 1
+    assert "'inner'" in violations[0].message
+
+
+def test_non_generator_functions_ignored():
+    violations = lint("""
+        def plain():
+            return [1, 2, 3]
+        """)
+    assert violations == []

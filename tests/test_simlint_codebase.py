@@ -1,0 +1,33 @@
+"""The shipped tree must be simlint-clean — violations fail the suite.
+
+This is the local mirror of the ``make lint`` CI gate: any PR that
+introduces a wall-clock read, global randomness, a non-event yield or an
+unbalanced resource grant in ``src/repro`` fails here with file:line
+pointers.
+"""
+
+import os
+import subprocess
+import sys
+
+import repro
+from repro.analysis.rules import default_rules
+from repro.analysis.runner import lint_paths
+
+PACKAGE_DIR = os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def test_src_repro_is_simlint_clean():
+    violations = lint_paths([PACKAGE_DIR], default_rules())
+    assert not violations, "simlint violations in src/repro:\n" + "\n".join(
+        violation.render() for violation in violations)
+
+
+def test_cli_exits_zero_on_shipped_tree():
+    env = dict(os.environ)
+    src_root = os.path.dirname(PACKAGE_DIR)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", PACKAGE_DIR],
+        capture_output=True, text=True, env=env)
+    assert result.returncode == 0, result.stdout + result.stderr
