@@ -1,6 +1,6 @@
 # Convenience targets for the vRead reproduction.
 
-.PHONY: install test lint bench report paper-report quick-report demo clean
+.PHONY: install test lint chaos bench report paper-report quick-report demo clean
 
 install:
 	python setup.py develop
@@ -10,6 +10,10 @@ test:
 
 lint:
 	PYTHONPATH=src python -m repro.analysis src/repro
+
+chaos:
+	PYTHONPATH=src python -m pytest tests/faults -q
+	PYTHONPATH=src python examples/failure_drill.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -26,7 +26,7 @@ HIVE_ROWS = 131_072
 def hbase_numbers(vread):
     cluster = VirtualHadoopCluster(vread=vread, total_vms_per_host=4,
                                    frequency_hz=GHZ_2_0)
-    table = HBaseTable(cluster.client(), rows_per_region=8_192)
+    table = HBaseTable(cluster.clients.get(), rows_per_region=8_192)
 
     def proc():
         yield from table.load(HBASE_ROWS)
@@ -52,8 +52,8 @@ def hive_and_sqoop_seconds(vread):
                                    frequency_hz=GHZ_2_0)
     mysql = MySqlServer(VirtualMachine(cluster.hosts[2], "mysql"),
                         cluster.network)
-    table = HiveTable(cluster.client(), rows_per_file=65_536)
-    export = SqoopExport(cluster.client(), mysql, cluster.network)
+    table = HiveTable(cluster.clients.get(), rows_per_file=65_536)
+    export = SqoopExport(cluster.clients.get(), mysql, cluster.network)
 
     def proc():
         yield from table.load(HIVE_ROWS)

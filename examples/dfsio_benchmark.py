@@ -25,7 +25,7 @@ def run_one(scenario, layout, freq_hz, total_vms, file_mb, vread):
     cluster = VirtualHadoopCluster(frequency_hz=freq_hz,
                                    total_vms_per_host=total_vms,
                                    vread=vread)
-    dfsio = TestDfsio(cluster.client(), request_bytes=1 << 20)
+    dfsio = TestDfsio(cluster.clients.get(), request_bytes=1 << 20)
 
     def proc():
         write = yield from dfsio.write(2, file_mb << 20, **layout)

@@ -1,25 +1,34 @@
 #!/usr/bin/env python3
-"""Operations drill: replica loss, failover, re-replication, fsck.
+"""Operations drill: a scheduled fault storm, resilient reads, healing.
 
-A guided tour of the robustness substrate around vRead:
+A guided tour of the fault-injection subsystem (``repro.faults``) around
+vRead:
 
 1. write a 2-way-replicated dataset and fsck it;
-2. corrupt one replica — the block scanner catches it and drops the copy;
-3. crash a datanode — reads fail over, the replication monitor re-creates
-   the missing replicas on the survivors;
-4. fsck confirms the cluster healed, and a final vRead read verifies the
-   data end to end.
+2. declare a ``FaultPlan`` — datanode crash, vRead daemon crash, RDMA
+   flap and a disk-latency spike, all on the simulation clock — and arm
+   it under a multi-block vRead read: the read degrades to the vanilla
+   path, fails over to surviving replicas, and still verifies;
+3. the replication monitor re-creates the lost replicas on the
+   survivors while the daemon restarts and the client re-probes it;
+4. fsck confirms the cluster healed, and a final (recovered) vRead read
+   verifies the data end to end.
 
 Run:  python examples/failure_drill.py
 """
 
 from repro.cluster import VirtualHadoopCluster
-from repro.hdfs.blockscanner import BlockScanner
+from repro.faults import (
+    DaemonCrash,
+    DatanodeCrash,
+    DiskLatencySpike,
+    FaultPlan,
+    RdmaFlap,
+    VReadClientPolicy,
+)
 from repro.hdfs.fsck import fsck
 from repro.hdfs.replication import ReplicationMonitor
-from repro.storage.content import LiteralSource, PatternSource
-from repro.virt.vm import VirtualMachine
-from repro.hdfs import Datanode
+from repro.storage.content import PatternSource
 
 
 def run_for(cluster, seconds):
@@ -30,9 +39,21 @@ def run_for(cluster, seconds):
 
 
 def main():
+    # The whole storm is declared up front.  Times are relative to
+    # cluster.faults.arm(), so dataset loading can't set anything off.
+    plan = (FaultPlan()
+            .at(0.000, DatanodeCrash("dn1"))           # stays down: heals by re-replication
+            .at(0.001, DaemonCrash(duration=2.0))      # restarts after 2s
+            .at(0.000, RdmaFlap(duration=1.0))         # remote reads fall back to TCP
+            .at(0.000, DiskLatencySpike("host2", factor=6.0, duration=2.0)))
+
     # Three datanodes so re-replication has somewhere to go.
     cluster = VirtualHadoopCluster(n_hosts=3, block_size=1 << 20,
-                                   replication=2, vread=True)
+                                   replication=2, vread=True, seed=99,
+                                   faults=plan)
+    # Snappy degradation + re-probe so the drill is quick to watch.
+    cluster.vread_manager.client_policy = VReadClientPolicy(
+        open_timeout=0.05, read_timeout=0.1, reprobe_interval=0.5)
     payload = PatternSource(4 << 20, seed=99)
 
     def load():
@@ -42,49 +63,42 @@ def main():
     cluster.settle()
     print("1) dataset written (4MB, replication=2)")
     print("   " + fsck(cluster.namenode).render().replace("\n", "\n   "))
+    print("\n2) fault plan:")
+    print("   " + cluster.faults.plan.describe().replace("\n", "\n   "))
 
-    # --- 2) silent corruption, caught by the block scanner.
-    block = cluster.namenode.get_blocks("/drill/data")[0]
-    victim_dn_id = block.locations[0]
-    victim = next(dn for dn in cluster.datanodes
-                  if dn.datanode_id == victim_dn_id)
-    scanner = BlockScanner(victim, scan_interval=0.5)
-    # (register expectations for already-committed blocks)
-    for blk in cluster.namenode.get_blocks("/drill/data"):
-        scanner._on_event("commit", blk, victim_dn_id)
-    inode = victim.vm.guest_fs.lookup(victim.block_path(block.name))
-    inode.truncate()
-    inode.append(LiteralSource(b"\xde\xad" * (block.size // 2)))
-    victim.vm.drop_guest_cache()
-    scanner.start()
-    run_for(cluster, 2.0)
-    scanner.stop()
-    print(f"\n2) corrupted {block.name} on {victim_dn_id}; scanner found "
-          f"{len(scanner.corruptions_found)} bad replica(s) and dropped them")
-
-    # --- 3) crash the degraded datanode outright; monitor re-replicates
-    # every block it held from the surviving replicas.
-    monitor = ReplicationMonitor(cluster.namenode, cluster.network,
-                                 heartbeat_interval=0.5)
-    monitor.start(cluster.sim)
-    crash = victim
-    crash.stop()
-    run_for(cluster, 8.0)
-    monitor.stop()
-    print(f"\n3) crashed {crash.datanode_id}; monitor performed "
-          f"{monitor.re_replications} re-replication(s)")
-
-    # --- 4) health check + verified read through vRead.
-    report = fsck(cluster.namenode, verify_content=True)
-    print("\n4) " + report.render().replace("\n", "\n   "))
+    # --- the storm breaks while a read is in flight.
+    client = cluster.clients.get()
+    cluster.faults.arm()
 
     def read():
-        source = yield from cluster.client().read_file("/drill/data")
+        source = yield from client.read_file("/drill/data")
         return source
 
     got = cluster.run(cluster.sim.process(read()))
     assert got.checksum() == payload.checksum()
-    print("\n   final vRead read: 4MB verified byte-for-byte ✓")
+    print("\n   mid-storm read: 4MB verified byte-for-byte despite "
+          f"{cluster.fault_counters.total('fault.')} fault event(s)")
+
+    # --- 3) heal: re-replicate dn1's blocks; daemon restart + re-probe.
+    monitor = ReplicationMonitor(cluster.namenode, cluster.network,
+                                 heartbeat_interval=0.5)
+    monitor.start(cluster.sim)
+    run_for(cluster, 8.0)
+    monitor.stop()
+    print(f"\n3) monitor performed {monitor.re_replications} "
+          "re-replication(s) while the daemon restarted")
+
+    # --- 4) health check + verified read through a recovered vRead.
+    report = fsck(cluster.namenode, verify_content=True)
+    print("\n4) " + report.render().replace("\n", "\n   "))
+
+    got = cluster.run(cluster.sim.process(read()))
+    assert got.checksum() == payload.checksum()
+    library = cluster.vread_manager.library_of(cluster.client_vm)
+    state = "degraded" if library.degraded else "recovered"
+    print(f"\n   final read: 4MB verified byte-for-byte, vRead {state} ✓")
+    print("\nfault/recovery ledger:")
+    print("   " + cluster.fault_counters.render().replace("\n", "\n   "))
 
 
 if __name__ == "__main__":

@@ -39,7 +39,7 @@ def hdfs_delay(total_vms, vread, request_bytes=1 << 20):
         yield from cluster.write_dataset("/data", payload, favored=["dn1"])
 
     cluster.run(cluster.sim.process(load()))
-    client = cluster.client()
+    client = cluster.clients.get()
     cluster.drop_all_caches()
 
     def read():

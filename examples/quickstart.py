@@ -39,7 +39,7 @@ def main():
         cluster.run(cluster.sim.process(load()))
         cluster.settle()  # let vRead mount refreshes finish
 
-        client = cluster.client()
+        client = cluster.clients.get()
         cluster.drop_all_caches()
         cold, digest_cold = timed_read(cluster, client, "/demo/data")
         warm, digest_warm = timed_read(cluster, client, "/demo/data")

@@ -45,7 +45,7 @@ def main():
     # --- the WordCount job: a stateful per-task mapper carries words split
     # across piece boundaries (the corpus ends with '\n', so nothing is
     # left dangling at EOF).
-    engine = MiniMapReduce(cluster.client(), map_slots=2,
+    engine = MiniMapReduce(cluster.clients.get(), map_slots=2,
                            map_cycles_per_byte=2.0)  # string processing
     counts = Counter()
 

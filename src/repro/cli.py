@@ -133,7 +133,7 @@ def _demo(_args) -> int:
         start = cluster.sim.now
 
         def read():
-            source = yield from cluster.client().read_file("/demo")
+            source = yield from cluster.clients.get().read_file("/demo")
             return source
 
         source = cluster.run(cluster.sim.process(read()))

@@ -12,19 +12,25 @@ I/O threads contend for the quad-core hosts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import difflib
+import warnings
+from dataclasses import dataclass, fields as dataclass_fields
 from typing import List, Optional, Union
 
 from repro.core import VReadManager
 from repro.core.integration import VReadDfsClient
+from repro.faults import FaultInjector, FaultPlan
 from repro.hdfs import Datanode, DfsClient, HdfsConfig, Namenode
 from repro.hostmodel import PhysicalHost
 from repro.hostmodel.costs import CostModel
 from repro.hostmodel.frequency import GHZ_2_0
+from repro.metrics.accounting import FaultCounters
+from repro.metrics.tracing import Tracer
 from repro.net.lan import Lan
 from repro.net.rdma import RdmaLink
 from repro.net.tcp import VmNetwork
 from repro.sim import Simulator
+from repro.sim.rng import RandomStreams
 from repro.virt.vm import VirtualMachine
 from repro.workloads.lookbusy import Lookbusy
 
@@ -60,6 +66,32 @@ class ClusterConfig:
     #: HDFS data-transfer packet size (None = HdfsConfig default).
     packet_bytes: Optional[int] = None
     costs: Optional[CostModel] = None
+    #: Seed for every named random stream the cluster hands out (retry
+    #: jitter, chaos plans, workload randomness).  Same seed, same run.
+    seed: int = 0
+    #: Fault schedule, executed once ``cluster.faults.arm()`` is called.
+    faults: Optional[FaultPlan] = None
+
+    @classmethod
+    def from_kwargs(cls, **kwargs) -> "ClusterConfig":
+        """Build a config, rejecting unknown keys with a helpful error.
+
+        Unlike the bare dataclass constructor (whose ``TypeError`` names
+        nothing useful), this lists the valid keys and suggests the closest
+        match for a typo.
+        """
+        valid = {f.name for f in dataclass_fields(cls)}
+        unknown = sorted(set(kwargs) - valid)
+        if unknown:
+            parts = []
+            for key in unknown:
+                close = difflib.get_close_matches(key, valid, n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+                parts.append(f"{key!r}{hint}")
+            raise TypeError(
+                f"unknown ClusterConfig option(s): {', '.join(parts)}; "
+                f"valid options are: {', '.join(sorted(valid))}")
+        return cls(**kwargs)
 
     def __post_init__(self):
         if self.n_hosts < 2:
@@ -72,17 +104,79 @@ class ClusterConfig:
                 f"n_datanodes must be in [2, n_hosts]: {self.n_datanodes}")
 
 
+class ClusterClients:
+    """The one façade for obtaining HDFS clients from a cluster.
+
+    Replaces the old trio ``cluster.client()`` / ``cluster.client_for(vm)``
+    / ``cluster.vanilla_client()`` with a single explicit call::
+
+        cluster.clients.get()                        # auto, primary VM
+        cluster.clients.get(mode="vanilla")          # plain TCP path
+        cluster.clients.get(mode="vread", vm=vm2)    # vRead, specific VM
+
+    Modes:
+
+    * ``"auto"`` — vRead-enabled client when the cluster was built with
+      ``vread=True``, the vanilla client otherwise (what experiments want).
+    * ``"vread"`` — require the vRead path; error if not deployed.
+    * ``"vanilla"`` — the plain datanode-TCP path, even on a vRead cluster
+      (e.g. to load datasets identically in both modes).
+    """
+
+    MODES = ("auto", "vread", "vanilla")
+
+    def __init__(self, cluster: "VirtualHadoopCluster"):
+        self._cluster = cluster
+        self._vanilla: dict = {}
+
+    def get(self, mode: str = "auto",
+            vm: Optional[VirtualMachine] = None):
+        """An HDFS client for ``vm`` (default: the primary client VM)."""
+        if mode not in self.MODES:
+            raise ValueError(
+                f"unknown client mode {mode!r}; expected one of {self.MODES}")
+        cluster = self._cluster
+        if vm is None:
+            vm = cluster.client_vm
+        if mode == "auto":
+            mode = "vread" if cluster.vread_manager is not None else "vanilla"
+        if mode == "vread":
+            if cluster.vread_manager is None:
+                raise ValueError(
+                    "mode='vread' on a cluster built without vread=True; "
+                    "pass vread=True to ClusterConfig or use mode='vanilla'")
+            return cluster.vread_manager.attach_client(vm)
+        if vm is cluster.client_vm:
+            return cluster._vanilla_client
+        client = self._vanilla.get(vm.name)
+        if client is None:
+            client = DfsClient(vm, cluster.namenode, cluster.network,
+                               counters=cluster.fault_counters,
+                               retry_rng=cluster.rng.stream("dfs-retry"))
+            self._vanilla[vm.name] = client
+        return client
+
+    def __repr__(self) -> str:
+        mode = "vread" if self._cluster.vread_manager is not None else "vanilla"
+        return f"<ClusterClients auto->{mode}>"
+
+
 class VirtualHadoopCluster:
     """A ready-to-use simulated deployment."""
 
     def __init__(self, config: Optional[ClusterConfig] = None, **overrides):
         if config is None:
-            config = ClusterConfig(**overrides)
+            config = ClusterConfig.from_kwargs(**overrides)
         elif overrides:
             raise ValueError("pass either a config or keyword overrides")
         self.config = config
         self.costs = config.costs or CostModel()
         self.sim = Simulator()
+        #: Named deterministic random streams, all derived from config.seed.
+        self.rng = RandomStreams(config.seed)
+        self.tracer = Tracer()
+        self.fault_counters = FaultCounters(
+            self.tracer, clock=lambda: self.sim.now)
         self.lan = Lan(self.sim, self.costs)
         self.network = VmNetwork(self.sim, self.lan, self.costs)
         self.rdma = RdmaLink(self.sim, self.lan, self.costs)
@@ -142,21 +236,35 @@ class VirtualHadoopCluster:
                 bypass_host_fs=config.vread_bypass_host_fs,
                 ring_slots=config.vread_ring_slots,
                 ring_slot_bytes=config.vread_ring_slot_bytes,
-                channel_chunk_bytes=config.vread_chunk_bytes)
+                channel_chunk_bytes=config.vread_chunk_bytes,
+                counters=self.fault_counters,
+                retry_rng=self.rng.stream("dfs-retry"))
 
-        self._vanilla_client = DfsClient(self.client_vm, self.namenode,
-                                         self.network)
+        self._vanilla_client = DfsClient(
+            self.client_vm, self.namenode, self.network,
+            counters=self.fault_counters,
+            retry_rng=self.rng.stream("dfs-retry"))
+
+        #: The one way to get HDFS clients (vread/vanilla/auto).
+        self.clients = ClusterClients(self)
+        #: Fault-injection handle for ``config.faults``; call
+        #: ``cluster.faults.arm()`` once the workload is about to start.
+        self.faults = FaultInjector(self, config.faults, self.fault_counters)
 
     # ------------------------------------------------------------------ client
     def client(self) -> Union[DfsClient, VReadDfsClient]:
-        """The HDFS client under test: vRead-enabled if configured."""
-        if self.vread_manager is not None:
-            return self.vread_manager.attach_client(self.client_vm)
-        return self._vanilla_client
+        """Deprecated alias for ``cluster.clients.get()``."""
+        warnings.warn("cluster.client() is deprecated; use "
+                      "cluster.clients.get()", DeprecationWarning,
+                      stacklevel=2)
+        return self.clients.get()
 
     def vanilla_client(self) -> DfsClient:
-        """A plain client (e.g. to load datasets identically in both modes)."""
-        return self._vanilla_client
+        """Deprecated alias for ``cluster.clients.get(mode='vanilla')``."""
+        warnings.warn("cluster.vanilla_client() is deprecated; use "
+                      "cluster.clients.get(mode='vanilla')",
+                      DeprecationWarning, stacklevel=2)
+        return self.clients.get(mode="vanilla")
 
     def add_client_vm(self, name: str,
                       host_index: int = 0) -> VirtualMachine:
@@ -164,10 +272,11 @@ class VirtualHadoopCluster:
         return VirtualMachine(self.hosts[host_index], name)
 
     def client_for(self, vm: VirtualMachine):
-        """An HDFS client for any VM, honouring the cluster's vRead mode."""
-        if self.vread_manager is not None:
-            return self.vread_manager.attach_client(vm)
-        return DfsClient(vm, self.namenode, self.network)
+        """Deprecated alias for ``cluster.clients.get(vm=vm)``."""
+        warnings.warn("cluster.client_for(vm) is deprecated; use "
+                      "cluster.clients.get(vm=vm)", DeprecationWarning,
+                      stacklevel=2)
+        return self.clients.get(vm=vm)
 
     # ------------------------------------------------------------------- runs
     def run(self, process):

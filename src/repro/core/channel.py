@@ -9,6 +9,15 @@ eventfd directly (paper Section 3.3).
 Responses larger than ``chunk_bytes`` stream through the ring in chunks so
 a 4 MB application request cannot exceed the ring's 1024 x 4 KiB capacity;
 both sides derive the chunk count deterministically from the request.
+
+Conversations carry an *epoch*.  When the guest abandons a conversation
+(deadline expiry — see :mod:`repro.faults.retry`) it bumps the epoch via
+:meth:`VReadChannel.abort_conversation`; responses the daemon later emits
+for the dead conversation are tagged with the old epoch and silently
+discarded by the next reader, so a timed-out request cannot corrupt a
+subsequent one.  :meth:`VReadChannel.reset` rebuilds the rings and
+doorbells outright — used when the daemon itself is restarted after a
+crash.
 """
 
 from __future__ import annotations
@@ -56,31 +65,91 @@ class VReadChannel:
         self.costs = costs or vm.costs
         # A response chunk can never exceed the ring itself.
         self.chunk_bytes = min(chunk_bytes, slots * slot_bytes)
-        self.request_ring = SharedRing(sim, slots=64, slot_bytes=slot_bytes,
+        self._slots = slots
+        self._slot_bytes = slot_bytes
+        #: Conversation epoch — bumped by :meth:`abort_conversation`.
+        self.epoch = 0
+        #: Epoch of the request the daemon is currently serving
+        #: (conversations are serialized, so a single slot suffices).
+        self._serving_epoch = 0
+        self.stale_responses_dropped = 0
+        self.resets = 0
+        #: Serializes request/response conversations from concurrent streams
+        #: in the same guest (one conversation owns the rings at a time).
+        self._conversation = Lock(sim)
+        self._build_shared_state()
+
+    def _build_shared_state(self) -> None:
+        sim, vm = self.sim, self.vm
+        self.request_ring = SharedRing(sim, slots=64,
+                                       slot_bytes=self._slot_bytes,
                                        name=f"{vm.name}.vread-req")
-        self.response_ring = SharedRing(sim, slots=slots,
-                                        slot_bytes=slot_bytes,
+        self.response_ring = SharedRing(sim, slots=self._slots,
+                                        slot_bytes=self._slot_bytes,
                                         name=f"{vm.name}.vread-resp")
         #: guest -> daemon doorbell.
         self.daemon_efd = EventFd(sim, name=f"{vm.name}.efd-daemon")
         #: daemon -> guest doorbell (translated to a virq by the driver).
         self.guest_efd = EventFd(sim, name=f"{vm.name}.efd-guest")
-        #: Serializes request/response conversations from concurrent streams
-        #: in the same guest (one conversation owns the rings at a time).
-        self._conversation = Lock(sim)
 
     # -------------------------------------------------------------- guest side
+    def conversation(self):
+        """The conversation lock's request — a context manager::
+
+            with channel.conversation() as token:
+                yield token
+                ...
+
+        The ``with`` form releases on every exit path, including a deadline
+        interrupt delivered mid-conversation.
+        """
+        return self._conversation.acquire()
+
     def acquire(self):
-        """Generator: begin a conversation (returns the lock token)."""
+        """Generator: begin a conversation (returns the lock token).
+
+        Prefer :meth:`conversation` with a ``with`` block — this manual form
+        is not interrupt-safe.
+        """
         token = yield self._conversation.acquire()
         return token
 
     def release(self, token) -> None:
         self._conversation.release(token)
 
+    def abort_conversation(self) -> None:
+        """Abandon the current conversation after a timeout.
+
+        Bumps the epoch so late responses are recognizably stale, flushes
+        already-written stale responses (and their doorbell signals), and
+        prunes waiters orphaned by the interrupt so they cannot swallow the
+        next conversation's messages.
+        """
+        self.epoch += 1
+        current = self.epoch
+        self.guest_efd.prune_cancelled()
+        self.request_ring.prune_cancelled()
+        self.response_ring.prune_cancelled()
+        dropped = self.response_ring.discard_ready(
+            lambda tagged: tagged[0] != current)
+        for _ in range(dropped):
+            self.guest_efd.try_consume()
+        self.stale_responses_dropped += dropped
+
+    def reset(self) -> None:
+        """Rebuild rings and doorbells (daemon restart after a crash).
+
+        In-flight state of the crashed daemon — half-written responses,
+        pending doorbells — is gone, exactly like a fresh SHM mapping.
+        """
+        self.epoch += 1
+        self._serving_epoch = self.epoch
+        self.resets += 1
+        self._build_shared_state()
+
     def guest_send_request(self, request: ChannelRequest):
         """Generator (guest driver): place a request and ring the doorbell."""
-        yield from self.request_ring.put(request, 64)
+        yield from self.request_ring.put((self.epoch, request), 64)
         yield from self.vm.vcpu.run(self.costs.eventfd_cycles, OTHERS)
         self.daemon_efd.signal()
 
@@ -88,31 +157,45 @@ class VReadChannel:
         """Generator (guest driver): wait for one response item.
 
         Pays the virq translation on the vCPU plus the ring -> application
-        copy for data payloads.  Returns ``(payload, nbytes)``.
+        copy for data payloads.  Responses tagged with a stale epoch (from a
+        conversation the guest abandoned) are dropped and the wait resumes.
+        Returns ``(payload, nbytes)``.
         """
-        yield from self.guest_efd.wait()
-        yield from self.vm.vcpu.run(self.costs.virq_cycles, OTHERS)
-        payload, nbytes = yield from self.response_ring.get()
-        if nbytes:
-            copy_cycles = self.costs.vread_guest_copy_cycles_per_byte * nbytes
-            yield from self.vm.vcpu.run(copy_cycles, copy_category)
-        return payload, nbytes
+        while True:
+            yield from self.guest_efd.wait()
+            yield from self.vm.vcpu.run(self.costs.virq_cycles, OTHERS)
+            tagged, nbytes = yield from self.response_ring.get()
+            epoch, payload = tagged
+            if epoch != self.epoch:
+                self.stale_responses_dropped += 1
+                continue
+            if nbytes:
+                copy_cycles = (self.costs.vread_guest_copy_cycles_per_byte
+                               * nbytes)
+                yield from self.vm.vcpu.run(copy_cycles, copy_category)
+            return payload, nbytes
 
     # ------------------------------------------------------------- daemon side
     def daemon_wait_request(self, daemon_thread):
         """Generator (daemon): block for the next request."""
         yield from self.daemon_efd.wait()
-        request, _ = yield from self.request_ring.get()
+        (epoch, request), _ = yield from self.request_ring.get()
+        self._serving_epoch = epoch
         yield from daemon_thread.run(self.costs.vread_request_cycles, OTHERS)
         return request
 
     def daemon_send_response(self, daemon_thread, payload: Any, nbytes: int,
                              copy_category: str = COPY_VREAD_BUFFER):
-        """Generator (daemon): copy a response into the ring + doorbell."""
+        """Generator (daemon): copy a response into the ring + doorbell.
+
+        Responses carry the epoch of the request being served, so the guest
+        can discard replies to conversations it has abandoned.
+        """
         if nbytes:
             copy_cycles = self.costs.vread_copy_cycles_per_byte * nbytes
             yield from daemon_thread.run(copy_cycles, copy_category)
-        yield from self.response_ring.put(payload, nbytes)
+        yield from self.response_ring.put((self._serving_epoch, payload),
+                                          nbytes)
         yield from daemon_thread.run(self.costs.eventfd_cycles, OTHERS)
         self.guest_efd.signal()
 

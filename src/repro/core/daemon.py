@@ -19,8 +19,12 @@ from typing import Dict, Optional, Tuple, Union
 
 from repro.core.channel import ChannelRequest, OpenResult, VReadChannel
 from repro.core.remote import RemoteRequest, RemoteResponse
+from repro.faults.retry import DeadlineExceeded
 from repro.metrics.accounting import LOOP_DEVICE, OTHERS
+from repro.net.rdma import RdmaError
+from repro.sim import Interrupt
 from repro.storage.content import SliceSource
+from repro.storage.disk import DiskError
 from repro.storage.filesystem import FsError, InodeRangeSource
 from repro.storage.image import DiskImage
 
@@ -159,7 +163,10 @@ class VReadHostService:
                 inode = entry.image.guest_fs.lookup(path)
             except FsError as exc:
                 return False, None, str(exc)
-            yield from self.host.ssd.read(length)
+            try:
+                yield from self.host.ssd.read(length)
+            except DiskError as exc:
+                return False, None, str(exc)
             return True, InodeRangeSource(inode, offset, length), ""
         mount = self.host.mounts[entry.image.name]
         try:
@@ -172,7 +179,10 @@ class VReadHostService:
             yield from thread.run(
                 self.costs.host_fs_read_cycles_per_byte * length,
                 LOOP_DEVICE)
-            yield from self.host.ssd.read(missing)
+            try:
+                yield from self.host.ssd.read(missing)
+            except DiskError as exc:
+                return False, None, str(exc)
             self.host.page_cache.insert(key, offset, length)
         try:
             payload = InodeRangeSource(inode, offset, length)
@@ -204,7 +214,14 @@ class VReadHostService:
 
 
 class VReadDaemon:
-    """The per-VM daemon draining one client VM's shared-ring channel."""
+    """The per-VM daemon draining one client VM's shared-ring channel.
+
+    Supports deterministic crash/restart (fault injection): :meth:`crash`
+    interrupts the serve loop mid-whatever-it-was-doing; :meth:`restart`
+    resets the channel's shared state (fresh SHM mapping) and spawns a new
+    serve loop.  While crashed, guest conversations simply hang until the
+    library's timeouts fire and it degrades to the vanilla path.
+    """
 
     def __init__(self, vm, channel: VReadChannel,
                  service: VReadHostService):
@@ -213,24 +230,51 @@ class VReadDaemon:
         self.service = service
         self.thread = service.host.thread(f"vread-daemon.{vm.name}")
         self.requests_served = 0
-        vm.sim.process(self._serve())
+        self.crashed = False
+        self.crashes = 0
+        self.restarts = 0
+        self._serve_proc = vm.sim.process(self._serve())
+
+    # ------------------------------------------------------------ crash/restart
+    def crash(self) -> None:
+        """Kill the serve loop (vRead daemon process dies)."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        if self._serve_proc is not None and self._serve_proc.is_alive:
+            self._serve_proc.interrupt("daemon crash")
+
+    def restart(self) -> None:
+        """Start a fresh daemon process over a re-created channel."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.restarts += 1
+        self.channel.reset()
+        self._serve_proc = self.vm.sim.process(self._serve())
 
     def _serve(self):
         while True:
-            request = yield from self.channel.daemon_wait_request(self.thread)
-            self.requests_served += 1
-            if request.kind == "open":
-                yield from self._handle_open(request)
-            elif request.kind == "read":
-                yield from self._handle_read(request)
-            elif request.kind == "update":
-                self.service.schedule_refresh(request.datanode_id)
-                yield from self.channel.daemon_send_response(
-                    self.thread, OpenResult(ok=True), 0)
-            else:
-                yield from self.channel.daemon_send_response(
-                    self.thread,
-                    OpenResult(ok=False, message="bad request"), 0)
+            try:
+                request = yield from self.channel.daemon_wait_request(
+                    self.thread)
+                self.requests_served += 1
+                if request.kind == "open":
+                    yield from self._handle_open(request)
+                elif request.kind == "read":
+                    yield from self._handle_read(request)
+                elif request.kind == "update":
+                    self.service.schedule_refresh(request.datanode_id)
+                    yield from self.channel.daemon_send_response(
+                        self.thread, OpenResult(ok=True), 0)
+                else:
+                    yield from self.channel.daemon_send_response(
+                        self.thread,
+                        OpenResult(ok=False, message="bad request"), 0)
+            except Interrupt:
+                # Injected crash: die where we stood.
+                return
 
     # ------------------------------------------------------------------ open
     def _handle_open(self, request: ChannelRequest):
@@ -242,9 +286,12 @@ class VReadDaemon:
                 request.datanode_id, request.block_name, self.thread)
             result = OpenResult(ok=ok, size=size)
         else:
-            response = yield from self.service.transport.request(
-                entry.peer, RemoteRequest("open", request.datanode_id,
-                                          request.block_name))
+            try:
+                response = yield from self.service.transport.request(
+                    entry.peer, RemoteRequest("open", request.datanode_id,
+                                              request.block_name))
+            except (RdmaError, DeadlineExceeded) as exc:
+                response = RemoteResponse(ok=False, message=str(exc))
             result = OpenResult(ok=response.ok, size=response.size,
                                 message=response.message)
         yield from self.channel.daemon_send_response(self.thread, result, 0)
@@ -261,10 +308,13 @@ class VReadDaemon:
                 request.datanode_id, request.block_name,
                 request.offset, request.length, self.thread)
         else:
-            response = yield from self.service.transport.request(
-                entry.peer, RemoteRequest("read", request.datanode_id,
-                                          request.block_name,
-                                          request.offset, request.length))
+            try:
+                response = yield from self.service.transport.request(
+                    entry.peer, RemoteRequest("read", request.datanode_id,
+                                              request.block_name,
+                                              request.offset, request.length))
+            except (RdmaError, DeadlineExceeded) as exc:
+                response = RemoteResponse(ok=False, message=str(exc))
             ok, payload, message = response.ok, response.payload, response.message
         if not ok:
             yield from self.channel.daemon_send_response(

@@ -48,16 +48,21 @@ class VReadDfsInputStream(DfsInputStream):
             try:
                 result = yield from library.vread_read(
                     descriptor, offset, length)
-            except VReadError:
+            except VReadError as exc:
                 # Defensive fallback: e.g. the block file vanished between
-                # open and read.  The vanilla path re-fetches via TCP.
+                # open and read, or the daemon stopped answering.  The
+                # vanilla path re-fetches via TCP.
                 self.fallback_reads += 1
+                self.client.count_recovery("recovery.fallback-vanilla",
+                                           block=block.name, cause=str(exc))
                 return (yield from self._fetch_from_datanode(
                     block, offset, length))
             self.vread_reads += 1
             return result
         # Original method of HDFS (read_buffer / fetchBlocks).
         self.fallback_reads += 1
+        self.client.count_recovery("recovery.fallback-vanilla",
+                                   block=block.name, cause="no descriptor")
         return (yield from self._fetch_from_datanode(block, offset, length))
 
     # ------------------------------------------------------------- read1
@@ -86,8 +91,10 @@ class VReadDfsClient(DfsClient):
     """A DfsClient whose streams use the vRead read path."""
 
     def __init__(self, vm: VirtualMachine, namenode: Namenode,
-                 network: VmNetwork, library: VReadLibrary):
-        super().__init__(vm, namenode, network)
+                 network: VmNetwork, library: VReadLibrary,
+                 retry_policy=None, counters=None, retry_rng=None):
+        super().__init__(vm, namenode, network, retry_policy=retry_policy,
+                         counters=counters, retry_rng=retry_rng)
         self.library = library
 
     def _input_stream(self, path: str, blocks: List[Block]) -> VReadDfsInputStream:

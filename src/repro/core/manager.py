@@ -36,7 +36,9 @@ class VReadManager:
                  transport: str = "rdma",
                  bypass_host_fs: bool = False,
                  ring_slots: int = 1024, ring_slot_bytes: int = 4096,
-                 channel_chunk_bytes: int = 1 << 20):
+                 channel_chunk_bytes: int = 1 << 20,
+                 counters=None, client_policy=None, retry_policy=None,
+                 retry_rng=None):
         if transport not in ("rdma", "tcp"):
             raise ValueError(f"transport must be 'rdma' or 'tcp': {transport}")
         if transport == "rdma" and rdma_link is None:
@@ -52,6 +54,12 @@ class VReadManager:
         self.ring_slots = ring_slots
         self.ring_slot_bytes = ring_slot_bytes
         self.channel_chunk_bytes = channel_chunk_bytes
+        #: Fault/recovery accounting + resilience knobs, threaded into
+        #: every library, client and transport this manager creates.
+        self.counters = counters
+        self.client_policy = client_policy
+        self.retry_policy = retry_policy
+        self.retry_rng = retry_rng
         self._services: Dict[str, VReadHostService] = {}
         self._daemons: Dict[str, VReadDaemon] = {}
         self._libraries: Dict[str, VReadLibrary] = {}
@@ -69,6 +77,7 @@ class VReadManager:
                 service.transport = RdmaTransport(service, self.rdma_link)
             else:
                 service.transport = TcpTransport(service)
+            service.transport.counters = self.counters
             self._services[host.name] = service
         return service
 
@@ -104,9 +113,14 @@ class VReadManager:
                                    slot_bytes=self.ring_slot_bytes,
                                    chunk_bytes=self.channel_chunk_bytes)
             self._daemons[vm.name] = VReadDaemon(vm, channel, service)
-            self._libraries[vm.name] = VReadLibrary(vm, channel)
+            self._libraries[vm.name] = VReadLibrary(
+                vm, channel, policy=self.client_policy,
+                counters=self.counters)
         return VReadDfsClient(vm, self.namenode, self.network,
-                              self._libraries[vm.name])
+                              self._libraries[vm.name],
+                              retry_policy=self.retry_policy,
+                              counters=self.counters,
+                              retry_rng=self.retry_rng)
 
     def library_of(self, vm: VirtualMachine) -> VReadLibrary:
         return self._libraries[vm.name]

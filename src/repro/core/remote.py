@@ -13,6 +13,14 @@ Section 3.2 "Reading from a Remote Datanode" and footnote 2):
 
 A requester holds one lazily-created conduit per peer and serializes its
 outstanding requests on it (one in flight per host pair).
+
+Resilience: every request carries a ``request_id`` and each roundtrip runs
+under a deadline (:func:`~repro.faults.retry.call_with_deadline`).  A
+response that arrives after its requester gave up is recognized by id and
+discarded, so an abandoned roundtrip cannot poison the next one.  When the
+RDMA link flaps, :class:`RdmaTransport` retries the request over an
+internal TCP fallback conduit — the paper's footnote-2 degradation, now
+exercised automatically.
 """
 
 from __future__ import annotations
@@ -20,8 +28,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
+from repro.faults.retry import DeadlineExceeded, call_with_deadline
 from repro.metrics.accounting import VREAD_NET
+from repro.net.rdma import RdmaError
 from repro.sim import Lock, Store
+from repro.storage.disk import DiskError
+from repro.storage.filesystem import FsError
+
+#: Default budget for one remote roundtrip (sim seconds).  Generous against
+#: healthy-path latencies (~ms) but small enough that a dead link degrades
+#: quickly.
+DEFAULT_REQUEST_TIMEOUT = 1.0
 
 
 @dataclass
@@ -32,6 +49,7 @@ class RemoteRequest:
     block_name: str
     offset: int = 0
     length: int = 0
+    request_id: int = 0
 
 
 @dataclass
@@ -42,22 +60,34 @@ class RemoteResponse:
     nbytes: int = 0
     size: int = 0        # block size, for 'open'
     message: str = ""
+    request_id: int = 0
 
 
 class BaseTransport:
     """Shared requester bookkeeping: per-peer conduit + serialization."""
 
-    def __init__(self, service):
+    def __init__(self, service,
+                 request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT):
         self.service = service
+        self.request_timeout = request_timeout
         self._conduits: Dict[str, Tuple[Any, Lock]] = {}
+        self._request_seq = 0
+        self.stale_responses_dropped = 0
+        #: Optional FaultCounters sink, wired by the cluster builder.
+        self.counters = None
 
     def request(self, peer_service, request: RemoteRequest):
         """Generator: send ``request`` to ``peer_service``; returns response."""
+        if request.request_id == 0:
+            self._request_seq += 1
+            request.request_id = self._request_seq
         conduit, lock = self._conduit_to(peer_service)
         with lock.acquire() as token:
             yield token
-            response = yield from self._roundtrip(conduit, peer_service,
-                                                  request)
+            response = yield from call_with_deadline(
+                self.service.sim,
+                self._roundtrip(conduit, peer_service, request),
+                self.request_timeout)
         return response
 
     def _conduit_to(self, peer_service):
@@ -75,13 +105,47 @@ class BaseTransport:
     def _roundtrip(self, conduit, peer_service, request: RemoteRequest):
         raise NotImplementedError
 
+    def _serve_one(self, peer_service, request: RemoteRequest):
+        """Generator: run the peer's handler, mapping I/O faults to error
+        responses instead of killing the respond loop."""
+        try:
+            response = yield from peer_service.handle_remote(request)
+        except (DiskError, FsError) as exc:
+            response = RemoteResponse(ok=False, message=str(exc))
+        response.request_id = request.request_id
+        return response
+
 
 class RdmaTransport(BaseTransport):
-    """Verbs over RoCE: requester posts the request, responder pushes data."""
+    """Verbs over RoCE: requester posts the request, responder pushes data.
+
+    When the link is down (flap), work requests fail with
+    :class:`~repro.net.rdma.RdmaError` or time out; the transport then
+    repeats the request over an internal :class:`TcpTransport` so remote
+    reads keep flowing — slower and CPU-heavier, exactly the trade the
+    paper describes for the no-RDMA case.
+    """
 
     def __init__(self, service, rdma_link):
         super().__init__(service)
         self.rdma_link = rdma_link
+        self._tcp_fallback = TcpTransport(service)
+        self.tcp_fallbacks = 0
+
+    def request(self, peer_service, request: RemoteRequest):
+        try:
+            response = yield from BaseTransport.request(self, peer_service,
+                                                        request)
+            return response
+        except (RdmaError, DeadlineExceeded) as exc:
+            self.tcp_fallbacks += 1
+            if self.counters is not None:
+                self.counters.count("recovery.rdma-tcp-fallback",
+                                    peer=peer_service.host.name,
+                                    cause=type(exc).__name__)
+            response = yield from self._tcp_fallback.request(peer_service,
+                                                             request)
+            return response
 
     def _create_conduit(self, peer_service):
         local_qp, remote_qp = self.rdma_link.queue_pair(
@@ -92,17 +156,30 @@ class RdmaTransport(BaseTransport):
         return local_qp
 
     def _roundtrip(self, local_qp, peer_service, request: RemoteRequest):
+        # A previous roundtrip abandoned under deadline may have left an
+        # orphaned waiter on the receive queue; drop it so it cannot swallow
+        # this request's response.
+        local_qp.prune_cancelled()
         yield from local_qp.post_send(request, size=96)
-        response = yield from local_qp.poll_recv()
-        return response
+        while True:
+            response = yield from local_qp.poll_recv()
+            if response.request_id == request.request_id:
+                return response
+            self.stale_responses_dropped += 1
 
     def _respond_loop(self, peer_service, qp):
         while True:
             request = yield from qp.poll_recv()
-            response = yield from peer_service.handle_remote(request)
+            response = yield from self._serve_one(peer_service, request)
             # Active push: the datanode-side daemon writes the data straight
             # into the requester host's registered memory region.
-            yield from qp.post_send(response, size=max(96, response.nbytes))
+            try:
+                yield from qp.post_send(response,
+                                        size=max(96, response.nbytes))
+            except RdmaError:
+                # Link flapped under the reply; the requester's deadline
+                # (and TCP fallback) takes it from here.
+                continue
 
 
 class TcpTransport(BaseTransport):
@@ -114,14 +191,18 @@ class TcpTransport(BaseTransport):
         return conduit
 
     def _roundtrip(self, conduit, peer_service, request: RemoteRequest):
+        conduit.prune_cancelled()
         yield from conduit.send_from_local(request, 96)
-        response = yield from conduit.recv_at_local()
-        return response
+        while True:
+            response = yield from conduit.recv_at_local()
+            if response.request_id == request.request_id:
+                return response
+            self.stale_responses_dropped += 1
 
     def _respond_loop(self, peer_service, conduit):
         while True:
             request = yield from conduit.recv_at_peer()
-            response = yield from peer_service.handle_remote(request)
+            response = yield from self._serve_one(peer_service, request)
             yield from conduit.send_from_peer(response,
                                               max(96, response.nbytes))
 
@@ -135,6 +216,11 @@ class _TcpConduit:
         sim = local_service.sim
         self._to_peer = Store(sim, capacity=8)
         self._to_local = Store(sim, capacity=8)
+
+    def prune_cancelled(self) -> int:
+        """Drop waiters orphaned by a deadline-interrupted requester."""
+        return (self._to_local.prune_cancelled()
+                + self._to_peer.prune_cancelled())
 
     # The daemon is a user-space thread: every send/recv is a syscall plus
     # user<->kernel copies and the host network stack — all charged to the

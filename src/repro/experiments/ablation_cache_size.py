@@ -48,7 +48,7 @@ def _measure(cache_bytes: float, file_bytes: int) -> float:
                                     name=f"{host.name}.pagecache")
     load_dataset(cluster, "/abl/data", PatternSource(file_bytes, seed=65),
                  favored=["dn1"])
-    client = cluster.client()
+    client = cluster.clients.get()
     cluster.drop_all_caches()
 
     def read():

@@ -48,7 +48,7 @@ def _measure(bypass: bool, file_bytes: int) -> Tuple[float, float, int]:
                                    vread_bypass_host_fs=bypass)
     load_dataset(cluster, "/abl/data", PatternSource(file_bytes, seed=61),
                  favored=["dn1"])
-    client = cluster.client()
+    client = cluster.clients.get()
     cluster.drop_all_caches()
 
     def read():

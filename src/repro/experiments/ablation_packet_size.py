@@ -45,7 +45,7 @@ def _measure(packet_bytes, vread: bool, file_bytes: int) -> float:
     cluster = VirtualHadoopCluster(**kwargs)
     load_dataset(cluster, "/abl/data", PatternSource(file_bytes, seed=64),
                  favored=["dn1"])
-    client = cluster.client()
+    client = cluster.clients.get()
     cluster.drop_all_caches()
 
     def read():

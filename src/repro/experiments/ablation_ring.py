@@ -47,7 +47,7 @@ def _measure(slots: int, chunk_bytes: int, file_bytes: int) -> float:
                                    vread_chunk_bytes=chunk_bytes)
     load_dataset(cluster, "/abl/data", PatternSource(file_bytes, seed=63),
                  favored=["dn1"])
-    client = cluster.client()
+    client = cluster.clients.get()
 
     def read():
         start = cluster.sim.now

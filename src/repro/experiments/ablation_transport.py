@@ -44,7 +44,7 @@ def _measure(transport: str, file_bytes: int) -> Tuple[float, float, float]:
                                    vread=True, vread_transport=transport)
     load_dataset(cluster, "/abl/data", PatternSource(file_bytes, seed=62),
                  favored=["dn2"])  # remote datanode
-    client = cluster.client()
+    client = cluster.clients.get()
     cluster.drop_all_caches()
     marks = [host.accounting.snapshot() for host in cluster.hosts]
 

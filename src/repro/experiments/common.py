@@ -32,7 +32,20 @@ class FigureResult:
         return text
 
     def value(self, series: str, x) -> float:
-        """Look up one series value by x-position."""
+        """Look up one series value by x-position.
+
+        Unknown names raise errors that list what *is* available, so a
+        typo'd lookup in an experiment script reads as a diagnosis rather
+        than a bare ``KeyError: 'vRaed'``.
+        """
+        if series not in self.series:
+            raise KeyError(
+                f"{self.figure} has no series {series!r}; available series: "
+                f"{sorted(self.series)}")
+        if x not in self.x_values:
+            raise ValueError(
+                f"{self.figure} series {series!r} has no x-value {x!r}; "
+                f"available {self.x_label} values: {self.x_values}")
         return self.series[series][self.x_values.index(x)]
 
     def to_csv(self) -> str:
@@ -72,6 +85,19 @@ class BreakdownResult:
         if self.notes:
             text += f"\n  note: {self.notes}"
         return text
+
+    def to_csv(self) -> str:
+        """The bars as CSV (header row: bar + categories + total)."""
+        categories: List[str] = []
+        for breakdown in self.bars.values():
+            for name, _ in breakdown.rows():
+                if name not in categories:
+                    categories.append(name)
+        lines = [",".join(["bar"] + categories + ["total"])]
+        for label, breakdown in self.bars.items():
+            cells = [repr(breakdown.get(c)) for c in categories]
+            lines.append(",".join([label] + cells + [repr(breakdown.total)]))
+        return "\n".join(lines)
 
 
 class BreakdownViews:

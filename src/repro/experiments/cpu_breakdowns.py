@@ -64,7 +64,7 @@ def _measure(vread: bool, scenario: str, transport: str,
     load_dataset(cluster, "/fig-cpu/data", PatternSource(file_bytes, seed=6),
                  favored=favored)
     cluster.drop_all_caches()
-    client = cluster.client()
+    client = cluster.clients.get()
     views = BreakdownViews(cluster)
     views.mark()
 

@@ -65,7 +65,7 @@ def run_cell(scenario: str, frequency_hz: float, total_vms: int, mode: str,
     cluster = VirtualHadoopCluster(
         block_size=64 << 20, frequency_hz=frequency_hz,
         total_vms_per_host=total_vms, vread=(mode == "vRead"))
-    dfsio = TestDfsio(cluster.client(), request_bytes=request_bytes)
+    dfsio = TestDfsio(cluster.clients.get(), request_bytes=request_bytes)
 
     def proc():
         write_result = yield from dfsio.write(n_files, file_bytes, **layout)

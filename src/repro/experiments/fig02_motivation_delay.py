@@ -48,7 +48,7 @@ def _measure(file_bytes: int, request_bytes: int, cached: bool
 
     def run_hdfs():
         bench = FileReadBenchmark(request_bytes)
-        yield from bench.read_hdfs(cluster.vanilla_client(), "/fig2/data")
+        yield from bench.read_hdfs(cluster.clients.get(mode="vanilla"), "/fig2/data")
         return bench.mean_delay
 
     results = []

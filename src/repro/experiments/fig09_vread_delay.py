@@ -45,7 +45,7 @@ def _measure(vread: bool, total_vms: int, request_bytes: int,
                                    total_vms_per_host=total_vms)
     load_dataset(cluster, "/fig9/data", PatternSource(file_bytes, seed=9),
                  favored=["dn1"])
-    client = cluster.client()
+    client = cluster.clients.get()
 
     def reader():
         bench = FileReadBenchmark(request_bytes)

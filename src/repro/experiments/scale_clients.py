@@ -35,7 +35,7 @@ def _measure(vread: bool, n_clients: int, file_bytes: int) -> float:
 
     cluster.run(cluster.sim.process(load()))
     cluster.settle()
-    clients = [cluster.client_for(vm) for vm in client_vms]
+    clients = [cluster.clients.get(vm=vm) for vm in client_vms]
 
     def reader(client, index):
         yield from client.read_file(f"/scale/f{index}", 1 << 20)

@@ -67,7 +67,7 @@ def _improvements(costs: CostModel, file_bytes: int) -> Tuple[float, float]:
                                        vread=(mode == "vRead"), costs=costs)
         load_dataset(cluster, "/sens/data",
                      PatternSource(file_bytes, seed=55), favored=["dn1"])
-        client = cluster.client()
+        client = cluster.clients.get()
         cluster.drop_all_caches()
 
         def read():

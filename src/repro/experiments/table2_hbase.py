@@ -49,7 +49,7 @@ def _measure(vread: bool, n_rows: int, row_bytes: int,
     cluster = VirtualHadoopCluster(block_size=64 << 20, vread=vread,
                                    total_vms_per_host=4,
                                    frequency_hz=GHZ_2_0)
-    client = cluster.client()
+    client = cluster.clients.get()
     table = HBaseTable(client, row_bytes=row_bytes,
                        rows_per_region=rows_per_region)
 

@@ -63,7 +63,7 @@ def _hive_time(vread: bool, n_rows: int, row_bytes: int,
     cluster = VirtualHadoopCluster(block_size=64 << 20, vread=vread,
                                    total_vms_per_host=4,
                                    frequency_hz=GHZ_2_0)
-    client = cluster.client()
+    client = cluster.clients.get()
     table = HiveTable(client, row_bytes=row_bytes, rows_per_file=rows_per_file)
 
     def load():
@@ -91,7 +91,7 @@ def _sqoop_time(vread: bool, n_rows: int, row_bytes: int,
                                    frequency_hz=GHZ_2_0)
     mysql_vm = VirtualMachine(cluster.hosts[2], "mysql")
     mysql = MySqlServer(mysql_vm, cluster.network)
-    client = cluster.client()
+    client = cluster.clients.get()
     table = HiveTable(client, row_bytes=row_bytes, rows_per_file=rows_per_file)
     export = SqoopExport(client, mysql, cluster.network)
 

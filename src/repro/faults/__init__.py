@@ -1,0 +1,58 @@
+"""Deterministic fault injection + the resilience primitives it exercises.
+
+``repro.faults`` has two halves:
+
+* **Injection** — :class:`FaultPlan` (a declarative schedule of typed
+  faults from the catalogue in :mod:`repro.faults.plan`) executed by a
+  :class:`FaultInjector` on the simulation clock, plus
+  :func:`random_plan` for seeded chaos runs.
+* **Resilience** — :func:`call_with_deadline`, :class:`RetryPolicy` and
+  :class:`VReadClientPolicy`, the deadline/retry/backoff machinery the
+  HDFS client and ``libvread`` use to survive those faults.
+
+See ``docs/faults.md`` for the full catalogue and semantics.
+"""
+
+from repro.faults.chaos import random_plan
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    DaemonCrash,
+    DatanodeCrash,
+    DiskLatencySpike,
+    DiskOutage,
+    Fault,
+    FaultPlan,
+    GuestCacheDrop,
+    HostCacheDrop,
+    ImageFault,
+    MigrateVm,
+    RdmaFlap,
+    RingStall,
+)
+from repro.faults.retry import (
+    DeadlineExceeded,
+    RetryPolicy,
+    VReadClientPolicy,
+    call_with_deadline,
+)
+
+__all__ = [
+    "DaemonCrash",
+    "DatanodeCrash",
+    "DeadlineExceeded",
+    "DiskLatencySpike",
+    "DiskOutage",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "GuestCacheDrop",
+    "HostCacheDrop",
+    "ImageFault",
+    "MigrateVm",
+    "RdmaFlap",
+    "RetryPolicy",
+    "RingStall",
+    "VReadClientPolicy",
+    "call_with_deadline",
+    "random_plan",
+]

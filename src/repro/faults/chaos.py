@@ -1,0 +1,73 @@
+"""Seeded random fault-plan generation for chaos testing.
+
+``random_plan(seed=...)`` draws a reproducible schedule of faults from the
+catalogue using a dedicated :class:`~repro.sim.rng.RandomStreams` stream —
+the same seed always yields the same plan, so a chaos failure is a plain
+deterministic repro, not a flake.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.faults.plan import (
+    DaemonCrash,
+    DatanodeCrash,
+    DiskLatencySpike,
+    FaultPlan,
+    GuestCacheDrop,
+    HostCacheDrop,
+    RdmaFlap,
+    RingStall,
+)
+from repro.sim.rng import RandomStreams
+
+
+def random_plan(seed: int = 0, faults: int = 4, horizon: float = 2.0,
+                datanode_ids: Optional[List[str]] = None,
+                host_names: Optional[List[str]] = None,
+                include_datanode_crashes: bool = True) -> FaultPlan:
+    """Draw ``faults`` random faults over ``horizon`` sim-seconds.
+
+    ``datanode_ids``/``host_names`` restrict crash and disk targets
+    (defaults: ``["dn1"]`` / ``["host1", "host2"]`` — the standard
+    two-host cluster layout).  Set ``include_datanode_crashes=False`` for
+    replication-1 clusters where a crashed datanode has no surviving
+    replica to fail over to.
+    """
+    rng = RandomStreams(seed).stream("chaos-plan")
+    datanode_ids = datanode_ids or ["dn1"]
+    host_names = host_names or ["host1", "host2"]
+    plan = FaultPlan()
+
+    def _recovery_window(at: float) -> float:
+        # Keep every fault transient: revert well inside the horizon so a
+        # bounded workload can always finish.
+        return max(0.05, min(0.5, (horizon - at) * 0.5))
+
+    kinds = ["daemon-crash", "ring-stall", "rdma-flap",
+             "disk-latency-spike", "host-cache-drop", "guest-cache-drop"]
+    if include_datanode_crashes:
+        kinds.append("datanode-crash")
+    for _ in range(faults):
+        at = rng.uniform(0.0, horizon * 0.8)
+        kind = rng.choice(kinds)
+        duration = _recovery_window(at)
+        if kind == "daemon-crash":
+            plan.at(at, DaemonCrash(duration=duration))
+        elif kind == "ring-stall":
+            plan.at(at, RingStall(duration=duration))
+        elif kind == "rdma-flap":
+            plan.at(at, RdmaFlap(duration=duration))
+        elif kind == "disk-latency-spike":
+            plan.at(at, DiskLatencySpike(rng.choice(host_names),
+                                         factor=rng.uniform(4.0, 16.0),
+                                         duration=duration))
+        elif kind == "host-cache-drop":
+            plan.at(at, HostCacheDrop(rng.choice(host_names)))
+        elif kind == "guest-cache-drop":
+            plan.at(at, GuestCacheDrop())
+        elif kind == "datanode-crash":
+            plan.at(at, DatanodeCrash(rng.choice(datanode_ids),
+                                      duration=duration))
+    return plan

@@ -1,0 +1,312 @@
+"""The fault catalogue and the :class:`FaultPlan` DSL.
+
+A plan is a declarative schedule of typed faults::
+
+    plan = (FaultPlan()
+            .at(0.05, DatanodeCrash("dn1", duration=0.5))
+            .at(0.10, RdmaFlap(duration=0.3))
+            .at(0.00, DiskLatencySpike("host2", factor=8.0, duration=1.0))
+            .on("daemon-down", DaemonCrash("client")))
+
+``at`` times are **relative to arming** (see
+:class:`~repro.faults.injector.FaultInjector`), not absolute sim times —
+cluster construction and dataset loading advance the clock, and a plan
+should not care by how much.  ``on`` registers a named trigger fired
+manually (``injector.fire("daemon-down")``) or from test code.
+
+Every fault is a small dataclass with an ``inject(cluster, counters)``
+generator: apply the fault, optionally hold it for ``duration`` sim
+seconds, then revert.  Faults resolve their targets by name at injection
+time so a plan can be built before the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+def _find_host(cluster, name: Optional[str]):
+    if name is None:
+        return cluster.hosts[0]
+    for host in cluster.hosts:
+        if host.name == name:
+            return host
+    raise ValueError(f"no host named {name!r}; cluster has "
+                     f"{[h.name for h in cluster.hosts]}")
+
+
+def _find_vm(cluster, name: Optional[str]):
+    if name is None:
+        return cluster.client_vm
+    for host in cluster.hosts:
+        for vm in host.vms:
+            if vm.name == name:
+                return vm
+    raise ValueError(
+        f"no VM named {name!r}; cluster has "
+        f"{[vm.name for host in cluster.hosts for vm in host.vms]}")
+
+
+def _daemon_for(cluster, vm_name: Optional[str]):
+    manager = cluster.vread_manager
+    if manager is None:
+        raise ValueError("cluster has no vRead deployment (vread=False)")
+    vm = _find_vm(cluster, vm_name)
+    return manager.daemon_of(vm)
+
+
+class Fault:
+    """Base class: a typed, revertible fault."""
+
+    #: Counter suffix: the injector records ``fault.<label>``.
+    label = "generic"
+
+    def describe(self) -> str:
+        return self.label
+
+    def inject(self, cluster, counters):
+        """Generator: apply (and, after ``duration``, revert) the fault."""
+        raise NotImplementedError
+        yield  # simlint: disable=yield-discipline
+
+
+@dataclass
+class DatanodeCrash(Fault):
+    """Datanode VM dies: in-flight transfers drop, new requests refused.
+
+    With a ``duration`` the datanode restarts afterwards (VM reboot)."""
+    datanode_id: str
+    duration: Optional[float] = None
+    label = "datanode-crash"
+
+    def describe(self) -> str:
+        return f"{self.label}({self.datanode_id})"
+
+    def inject(self, cluster, counters):
+        datanode = cluster.namenode.datanode(self.datanode_id)
+        datanode.stop()
+        if self.duration is not None:
+            yield cluster.sim.timeout(self.duration)
+            datanode.start()
+            counters.count("fault.datanode-restart",
+                           datanode=self.datanode_id)
+
+
+@dataclass
+class DaemonCrash(Fault):
+    """The vRead daemon serving ``vm_name`` dies mid-whatever-it-was-doing.
+
+    With a ``duration`` the daemon restarts over a fresh channel."""
+    vm_name: Optional[str] = None
+    duration: Optional[float] = None
+    label = "daemon-crash"
+
+    def describe(self) -> str:
+        return f"{self.label}({self.vm_name or 'client'})"
+
+    def inject(self, cluster, counters):
+        daemon = _daemon_for(cluster, self.vm_name)
+        daemon.crash()
+        if self.duration is not None:
+            yield cluster.sim.timeout(self.duration)
+            daemon.restart()
+            counters.count("fault.daemon-restart", vm=daemon.vm.name)
+
+
+@dataclass
+class RingStall(Fault):
+    """The ivshmem rings of ``vm_name``'s channel wedge for ``duration``."""
+    vm_name: Optional[str] = None
+    duration: float = 0.5
+    label = "ring-stall"
+
+    def describe(self) -> str:
+        return f"{self.label}({self.vm_name or 'client'})"
+
+    def inject(self, cluster, counters):
+        daemon = _daemon_for(cluster, self.vm_name)
+        channel = daemon.channel
+        channel.request_ring.stall()
+        channel.response_ring.stall()
+        yield cluster.sim.timeout(self.duration)
+        # The channel may have been reset (daemon restart) while stalled;
+        # unstall whatever rings it has now as well as the ones we stalled.
+        channel.request_ring.unstall()
+        channel.response_ring.unstall()
+
+
+@dataclass
+class RdmaFlap(Fault):
+    """The RoCE link drops; vRead remote reads fall back to TCP."""
+    duration: float = 0.5
+    label = "rdma-flap"
+
+    def inject(self, cluster, counters):
+        cluster.rdma.fail()
+        yield cluster.sim.timeout(self.duration)
+        cluster.rdma.restore()
+        counters.count("fault.rdma-restore")
+
+
+@dataclass
+class DiskLatencySpike(Fault):
+    """A host's SSD slows by ``factor`` (noisy neighbour / flaky disk)."""
+    host_name: Optional[str] = None
+    factor: float = 10.0
+    duration: float = 1.0
+    label = "disk-latency-spike"
+
+    def describe(self) -> str:
+        return f"{self.label}({self.host_name or 'host1'}x{self.factor:g})"
+
+    def inject(self, cluster, counters):
+        host = _find_host(cluster, self.host_name)
+        host.ssd.set_latency_factor(self.factor)
+        yield cluster.sim.timeout(self.duration)
+        host.ssd.set_latency_factor(1.0)
+
+
+@dataclass
+class DiskOutage(Fault):
+    """A host's SSD fails every request with ``DiskError``."""
+    host_name: Optional[str] = None
+    duration: float = 0.5
+    label = "disk-outage"
+
+    def describe(self) -> str:
+        return f"{self.label}({self.host_name or 'host1'})"
+
+    def inject(self, cluster, counters):
+        host = _find_host(cluster, self.host_name)
+        host.ssd.set_failing(True)
+        yield cluster.sim.timeout(self.duration)
+        host.ssd.set_failing(False)
+
+
+@dataclass
+class ImageFault(Fault):
+    """``vm_name``'s disk image becomes unreadable through loop mounts
+    (snapshot-chain corruption); the vRead path degrades for that VM."""
+    vm_name: str = "datanode1"
+    duration: float = 0.5
+    label = "image-fault"
+
+    def describe(self) -> str:
+        return f"{self.label}({self.vm_name})"
+
+    def inject(self, cluster, counters):
+        vm = _find_vm(cluster, self.vm_name)
+        vm.image.set_faulted(True)
+        yield cluster.sim.timeout(self.duration)
+        vm.image.set_faulted(False)
+
+
+@dataclass
+class HostCacheDrop(Fault):
+    """Drop one host's page cache (echo 3 > drop_caches)."""
+    host_name: Optional[str] = None
+    label = "host-cache-drop"
+
+    def describe(self) -> str:
+        return f"{self.label}({self.host_name or 'host1'})"
+
+    def inject(self, cluster, counters):
+        host = _find_host(cluster, self.host_name)
+        host.drop_caches()
+        return
+        yield  # simlint: disable=yield-discipline
+
+
+@dataclass
+class GuestCacheDrop(Fault):
+    """Drop one VM's guest page cache."""
+    vm_name: Optional[str] = None
+    label = "guest-cache-drop"
+
+    def describe(self) -> str:
+        return f"{self.label}({self.vm_name or 'client'})"
+
+    def inject(self, cluster, counters):
+        vm = _find_vm(cluster, self.vm_name)
+        vm.drop_guest_cache()
+        return
+        yield  # simlint: disable=yield-discipline
+
+
+@dataclass
+class MigrateVm(Fault):
+    """Live-migrate a (datanode) VM to another host mid-read.
+
+    After the move the vRead hash tables are rebound on every host, as the
+    paper prescribes (Section 6)."""
+    vm_name: str = "datanode1"
+    target_host: str = "host2"
+    label = "vm-migration"
+
+    def describe(self) -> str:
+        return f"{self.label}({self.vm_name}->{self.target_host})"
+
+    def inject(self, cluster, counters):
+        from repro.virt.migration import migrate_vm
+
+        vm = _find_vm(cluster, self.vm_name)
+        target = _find_host(cluster, self.target_host)
+        yield from migrate_vm(vm, target, cluster.lan)
+        if cluster.vread_manager is not None:
+            for datanode in cluster.datanodes:
+                if datanode.vm is vm:
+                    cluster.vread_manager.rebind_datanode(datanode)
+        counters.count("fault.vm-migration-done", vm=vm.name,
+                       host=target.name)
+
+
+@dataclass
+class _TimedEntry:
+    at: float
+    fault: Fault
+
+
+@dataclass
+class _TriggerEntry:
+    trigger: str
+    fault: Fault
+
+
+class FaultPlan:
+    """A declarative schedule of faults; consumed by ``FaultInjector``."""
+
+    def __init__(self):
+        self.timed: List[_TimedEntry] = []
+        self.triggered: List[_TriggerEntry] = []
+
+    def at(self, seconds: float, fault: Fault) -> "FaultPlan":
+        """Schedule ``fault`` ``seconds`` after the injector is armed."""
+        if seconds < 0:
+            raise ValueError(f"fault time must be non-negative: {seconds}")
+        if not isinstance(fault, Fault):
+            raise TypeError(f"expected a Fault, got {fault!r}")
+        self.timed.append(_TimedEntry(seconds, fault))
+        return self
+
+    def on(self, trigger: str, fault: Fault) -> "FaultPlan":
+        """Attach ``fault`` to a named trigger (``injector.fire(trigger)``)."""
+        if not isinstance(fault, Fault):
+            raise TypeError(f"expected a Fault, got {fault!r}")
+        self.triggered.append(_TriggerEntry(trigger, fault))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.timed) + len(self.triggered)
+
+    def describe(self) -> str:
+        """Human-readable schedule, one line per entry."""
+        lines = [f"t+{entry.at:g}s: {entry.fault.describe()}"
+                 for entry in sorted(self.timed, key=lambda e: e.at)]
+        lines += [f"on {entry.trigger!r}: {entry.fault.describe()}"
+                  for entry in self.triggered]
+        return "\n".join(lines) if lines else "(empty plan)"
+
+    def __repr__(self) -> str:
+        return (f"<FaultPlan timed={len(self.timed)} "
+                f"triggered={len(self.triggered)}>")

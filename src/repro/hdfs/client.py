@@ -12,12 +12,20 @@ streams from the chosen datanode over TCP.  vRead subclasses the stream in
 :mod:`repro.core.integration` and overrides exactly this seam with
 Algorithms 1 and 2, falling back to this implementation when no vRead
 descriptor can be obtained.
+
+Resilience (:mod:`repro.faults`): block fetches run under a per-read
+deadline; each replica conversation has its own attempt budget; failed
+replicas are blacklisted on the client for a while (Hadoop's dead-node
+list) and passes over the replica list are separated by seeded, jittered
+exponential backoff from the client's :class:`~repro.faults.retry.RetryPolicy`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.faults.retry import (DeadlineExceeded, RetryPolicy,
+                                call_with_deadline)
 from repro.hdfs.block import Block
 from repro.hdfs.config import HdfsConfig
 from repro.hdfs.namenode import HdfsError, Namenode
@@ -42,11 +50,39 @@ class DfsClient:
     """An HDFS client bound to one VM."""
 
     def __init__(self, vm: VirtualMachine, namenode: Namenode,
-                 network: VmNetwork):
+                 network: VmNetwork,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 counters=None, retry_rng=None):
         self.vm = vm
         self.namenode = namenode
         self.network = network
         self.config: HdfsConfig = namenode.config
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Optional FaultCounters sink (wired by the cluster builder).
+        self.counters = counters
+        #: Seeded random.Random for backoff jitter; None = no jitter.
+        self.retry_rng = retry_rng
+        #: Hadoop's dead-node list: datanode id -> blacklist expiry time.
+        self.dead_datanodes: Dict[str, float] = {}
+
+    # -------------------------------------------------------------- resilience
+    def blacklist(self, dn_id: str) -> None:
+        """Mark a datanode dead for ``retry_policy.blacklist_seconds``."""
+        self.dead_datanodes[dn_id] = (self.vm.sim.now
+                                      + self.retry_policy.blacklist_seconds)
+
+    def is_blacklisted(self, dn_id: str) -> bool:
+        expiry = self.dead_datanodes.get(dn_id)
+        if expiry is None:
+            return False
+        if self.vm.sim.now >= expiry:
+            del self.dead_datanodes[dn_id]
+            return False
+        return True
+
+    def count_recovery(self, name: str, **fields) -> None:
+        if self.counters is not None:
+            self.counters.count(name, vm=self.vm.name, **fields)
 
     # ------------------------------------------------------------------ files
     def open(self, path: str):
@@ -191,20 +227,55 @@ class DfsInputStream:
     def _fetch_from_datanode(self, block: Block, offset: int, length: int):
         """Generator: the vanilla TCP block fetch with replica failover.
 
-        Replicas are tried in topology-preference order; a dead datanode or
-        missing block file fails over to the next replica, like Hadoop's
-        dead-node tracking in DFSInputStream.
+        Replicas are tried in topology-preference order; a dead datanode,
+        missing block file, or hung conversation fails over to the next
+        replica, like Hadoop's dead-node tracking in DFSInputStream.  The
+        whole fetch is bounded by the retry policy's ``read_deadline``.
         """
+        return (yield from call_with_deadline(
+            self.client.vm.sim,
+            self._fetch_with_retries(block, offset, length),
+            self.client.retry_policy.read_deadline))
+
+    def _fetch_with_retries(self, block: Block, offset: int, length: int):
+        """Generator: retry passes over the replica list with backoff."""
         client = self.client
-        replicas = client.namenode.policy.rank_read_replicas(
-            client.vm, block.locations)
-        last_error: Optional[HdfsProtocolError] = None
-        for dn_id in replicas:
-            try:
-                return (yield from self._fetch_from_one(
-                    dn_id, block, offset, length))
-            except HdfsProtocolError as exc:
-                last_error = exc
+        policy = client.retry_policy
+        sim = client.vm.sim
+        last_error: Optional[Exception] = None
+        failures = 0
+        for attempt in range(policy.max_attempts):
+            if attempt > 0:
+                delay = policy.backoff(attempt - 1, client.retry_rng)
+                if delay > 0:
+                    yield sim.timeout(delay)
+            ranked = client.namenode.policy.rank_read_replicas(
+                client.vm, block.locations)
+            replicas = [dn for dn in ranked
+                        if not client.is_blacklisted(dn)]
+            if not replicas:
+                # Everything blacklisted: a retry pass against the ranked
+                # list beats giving up (a node may have come back).
+                replicas = ranked
+            for dn_id in replicas:
+                try:
+                    result = yield from call_with_deadline(
+                        sim, self._fetch_from_one(dn_id, block, offset,
+                                                  length),
+                        policy.attempt_timeout)
+                except (HdfsProtocolError, DeadlineExceeded) as exc:
+                    last_error = exc
+                    failures += 1
+                    client.blacklist(dn_id)
+                    # A failed/abandoned conversation poisons the cached
+                    # connection; reconnect on the next attempt.
+                    self._drop_connection(dn_id)
+                    continue
+                if failures:
+                    client.count_recovery("recovery.replica-failover",
+                                          block=block.name, datanode=dn_id,
+                                          failures=failures)
+                return result
         raise HdfsProtocolError(
             f"all replicas of {block.name} failed: {last_error}")
 
@@ -240,6 +311,11 @@ class DfsInputStream:
                 self.client.vm, datanode.vm, self.client.config.datanode_port)
             self._connections[dn_id] = connection
         return connection
+
+    def _drop_connection(self, dn_id: str) -> None:
+        connection = self._connections.pop(dn_id, None)
+        if connection is not None:
+            connection.close()
 
     def close(self) -> None:
         self.closed = True

@@ -22,6 +22,8 @@ from repro.hdfs.protocol import (
 )
 from repro.metrics.accounting import OTHERS
 from repro.net.tcp import VmNetwork
+from repro.sim import Interrupt
+from repro.storage.disk import DiskError
 from repro.storage.filesystem import FsError
 from repro.virt.vm import VirtualMachine
 
@@ -45,11 +47,21 @@ class Datanode:
         self.bytes_served = 0
         #: Failure injection: a stopped datanode refuses all requests.
         self.stopped = False
+        self._handlers: List = []
         vm.sim.process(self._serve())
 
     def stop(self) -> None:
-        """Take the datanode down (crash/decommission injection)."""
+        """Take the datanode down (crash/decommission injection).
+
+        Kills in-flight transfer handlers mid-stream — clients blocked on
+        a half-received block hit their attempt timeout and fail over —
+        and refuses new requests with an error response.
+        """
         self.stopped = True
+        for handler in self._handlers:
+            if handler.is_alive:
+                handler.interrupt("datanode crash")
+        self._handlers.clear()
 
     def start(self) -> None:
         """Bring a stopped datanode back."""
@@ -77,24 +89,29 @@ class Datanode:
         """Accept loop: one handler process per incoming connection."""
         while True:
             connection = yield from self._listener.accept()
-            self.vm.sim.process(self._handle(connection))
+            self._handlers = [h for h in self._handlers if h.is_alive]
+            self._handlers.append(self.vm.sim.process(self._handle(connection)))
 
     def _handle(self, connection):
         """Serve sequential requests on one connection."""
         while True:
-            request = yield from connection.recv(self.vm)
-            if self.stopped:
-                yield from connection.send(
-                    self.vm,
-                    ErrorResponse(f"datanode {self.datanode_id} is down"))
-                continue
-            if isinstance(request, OpReadBlock):
-                yield from self._handle_read(connection, request)
-            elif isinstance(request, OpWriteBlock):
-                yield from self._handle_write(connection, request)
-            else:
-                yield from connection.send(
-                    self.vm, ErrorResponse(f"bad request {request!r}"))
+            try:
+                request = yield from connection.recv(self.vm)
+                if self.stopped:
+                    yield from connection.send(
+                        self.vm,
+                        ErrorResponse(f"datanode {self.datanode_id} is down"))
+                    continue
+                if isinstance(request, OpReadBlock):
+                    yield from self._handle_read(connection, request)
+                elif isinstance(request, OpWriteBlock):
+                    yield from self._handle_write(connection, request)
+                else:
+                    yield from connection.send(
+                        self.vm, ErrorResponse(f"bad request {request!r}"))
+            except Interrupt:
+                # Injected crash: drop the connection where it stood.
+                return
 
     def _handle_read(self, connection, request: OpReadBlock):
         """Stream the requested range as a pipeline of data packets.
@@ -116,7 +133,9 @@ class Datanode:
             try:
                 piece = yield from self.vm.read_file(
                     path, request.offset + sent, take, copy_category=OTHERS)
-            except FsError as exc:
+            except (FsError, DiskError) as exc:
+                # Injected/modelled I/O error: report it like a failed
+                # DataXceiver so the client fails over to another replica.
                 yield from connection.send(self.vm, ErrorResponse(str(exc)))
                 return
             # Checksum the outgoing packet (CRC32 of the packet stream).

@@ -10,7 +10,11 @@ package measures directly from the simulation rather than estimating:
 * tables/series formatted like the paper's via :mod:`repro.metrics.report`.
 """
 
-from repro.metrics.accounting import CpuAccounting, UtilizationBreakdown
+from repro.metrics.accounting import (
+    CpuAccounting,
+    FaultCounters,
+    UtilizationBreakdown,
+)
 from repro.metrics.stats import SummaryStats, percentile
 from repro.metrics.timeline import IntervalRecorder, TimeSeries
 from repro.metrics.report import Table, format_figure_series
@@ -18,6 +22,7 @@ from repro.metrics.tracing import TraceEvent, Tracer
 
 __all__ = [
     "CpuAccounting",
+    "FaultCounters",
     "IntervalRecorder",
     "SummaryStats",
     "Table",

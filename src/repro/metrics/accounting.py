@@ -13,7 +13,7 @@ window, exactly like running ``top`` during the experiment.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
 
 # Canonical category names used throughout the code base (paper's labels).
 CLIENT_APPLICATION = "client-application"
@@ -89,6 +89,56 @@ class CpuAccounting:
             if diff > 0:
                 delta._busy[key] = diff
         return delta
+
+
+class FaultCounters:
+    """Counts injected faults and recovery actions.
+
+    Names follow a two-level convention: ``fault.<kind>`` for injections
+    (e.g. ``fault.datanode-crash``) and ``recovery.<action>`` for the
+    resilience machinery's responses (``recovery.replica-failover``,
+    ``recovery.fallback-vanilla``, ``recovery.daemon-reprobe``, ...).
+
+    Every count is also emitted through the attached
+    :class:`~repro.metrics.tracing.Tracer` (category ``fault``) when one is
+    given, stamped with the simulation time supplied by ``clock``.
+    """
+
+    def __init__(self, tracer=None,
+                 clock: Optional[Callable[[], float]] = None):
+        self._counts: Dict[str, int] = defaultdict(int)
+        self.tracer = tracer
+        self._clock = clock
+
+    def count(self, name: str, **fields) -> int:
+        """Increment ``name``; returns the new total for that name."""
+        self._counts[name] += 1
+        if self.tracer is not None:
+            now = self._clock() if self._clock is not None else 0.0
+            self.tracer.record(now, "fault", name, **fields)
+        return self._counts[name]
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def total(self, prefix: str = "") -> int:
+        """Sum of all counts whose name starts with ``prefix``."""
+        return sum(count for name, count in self._counts.items()
+                   if name.startswith(prefix))
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def render(self) -> str:
+        """One ``name: count`` line per counter, sorted by name."""
+        if not self._counts:
+            return "(no fault/recovery events)"
+        return "\n".join(f"{name}: {count}"
+                         for name, count in sorted(self._counts.items()))
+
+    def __repr__(self) -> str:
+        return (f"<FaultCounters faults={self.total('fault.')} "
+                f"recoveries={self.total('recovery.')}>")
 
 
 class UtilizationBreakdown:

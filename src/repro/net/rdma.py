@@ -25,14 +25,38 @@ from repro.net.tcp import payload_size
 from repro.sim import SimulationError, Simulator, Store
 
 
+class RdmaError(Exception):
+    """A work request failed because the RDMA link is down (link flap)."""
+
+
 class RdmaLink:
-    """Factory/registry for queue pairs between hosts on a RoCE LAN."""
+    """Factory/registry for queue pairs between hosts on a RoCE LAN.
+
+    A link *flap* (:meth:`fail`/:meth:`restore`) fails every in-flight and
+    subsequent work request with :class:`RdmaError`; the vRead transport
+    layer reacts by falling back to its TCP path until the link recovers.
+    """
 
     def __init__(self, sim: Simulator, lan: Lan,
                  costs: Optional[CostModel] = None):
         self.sim = sim
         self.lan = lan
         self.costs = costs or lan.costs
+        self.down = False
+        self.failures = 0
+
+    def fail(self) -> None:
+        """Take the link down (start of a flap)."""
+        self.down = True
+
+    def restore(self) -> None:
+        """Bring the link back up."""
+        self.down = False
+
+    def _check_up(self) -> None:
+        if self.down:
+            self.failures += 1
+            raise RdmaError("RDMA link is down")
 
     def queue_pair(self, local_host, local_thread, remote_host,
                    remote_thread) -> Tuple["RdmaQueuePair", "RdmaQueuePair"]:
@@ -86,14 +110,20 @@ class RdmaQueuePair:
         peer = self.peer
         costs = self.link.costs
         nbytes = payload_size(payload, size)
+        self.link._check_up()
         yield from self._ensure_mr()
         post_cycles = (costs.rdma_work_request_cycles
                        + costs.rdma_copy_cycles_per_byte * nbytes)
         yield from self.thread.run(post_cycles, RDMA)
+        self.link._check_up()
         yield from self.link.lan.transfer(self.host, peer.host, nbytes)
         self.messages_sent += 1
         self.bytes_sent += nbytes
         yield peer._receive_queue.put((payload, nbytes))
+
+    def prune_cancelled(self) -> int:
+        """Drop receive waiters orphaned by an interrupted poller."""
+        return self._receive_queue.prune_cancelled()
 
     def poll_recv(self):
         """Generator: wait for the next completed receive; returns payload.

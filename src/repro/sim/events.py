@@ -48,7 +48,8 @@ class Event:
     exception is re-raised inside that process.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "_strace")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "_strace",
+                 "_cancelled")
 
     def __init__(self, sim: "Simulator"):  # noqa: F821 - forward ref
         self.sim = sim
@@ -57,6 +58,7 @@ class Event:
         self._value: Any = _PENDING
         self._ok = True
         self._defused = False
+        self._cancelled = False
         #: (time, process name) of the first trigger — sanitizer mode only.
         self._strace: Optional[tuple] = None
 
@@ -157,8 +159,20 @@ class Timeout(Event):
         self._note_trigger()
         sim._enqueue(delay, self)
 
+    def cancel(self) -> None:
+        """Withdraw the timeout before it fires.
+
+        The kernel discards a cancelled timeout when it reaches the head of
+        the heap — without advancing the clock or running callbacks.  Used
+        by deadline timers whose guarded operation already completed, so a
+        won race does not stretch the simulation's drain horizon.  Only
+        call this when no process still depends on the timeout firing.
+        """
+        self._cancelled = True
+
     def __repr__(self) -> str:
-        return f"<Timeout delay={self.delay}>"
+        state = " cancelled" if self._cancelled else ""
+        return f"<Timeout delay={self.delay}{state}>"
 
 
 class Condition(Event):

@@ -71,6 +71,10 @@ class Simulator:
     def _step(self) -> None:
         """Process the next event on the heap."""
         when, _, event = heappop(self._heap)
+        if event._cancelled:
+            # A withdrawn timer (e.g. a deadline whose operation finished):
+            # discard without advancing the clock or running callbacks.
+            return
         if self.sanitizer is not None and when < self._now:
             raise self.sanitizer.non_monotonic_error(when)
         self._now = when
@@ -117,6 +121,8 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')`` if none."""
+        while self._heap and self._heap[0][2]._cancelled:
+            heappop(self._heap)
         return self._heap[0][0] if self._heap else float("inf")
 
     def __repr__(self) -> str:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.sim.events import Event, Interrupt, SimulationError
+from repro.sim.events import Event, Interrupt, SimulationError, Timeout
 
 
 class Process(Event):
@@ -69,6 +69,10 @@ class Process(Event):
                 self._target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            # A timer nobody listens to anymore only stretches the drain
+            # horizon; withdraw it from the heap.
+            if isinstance(self._target, Timeout) and not self._target.callbacks:
+                self._target.cancel()
         self._target = None
 
         self.sim._active_process = self
@@ -94,6 +98,10 @@ class Process(Event):
         if result.sim is not self.sim:
             raise SimulationError(
                 f"process {self.name!r} yielded an event from another simulator")
+        if result._cancelled:
+            raise SimulationError(
+                f"process {self.name!r} yielded a cancelled timer {result!r}; "
+                f"it would never fire")
         self._target = result
         if result.processed:
             # Already fired: resume immediately (at the current instant) so

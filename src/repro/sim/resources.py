@@ -241,6 +241,22 @@ class Store:
             putter.succeed(None)
         return item
 
+    def prune_cancelled(self) -> int:
+        """Drop queued getters/putters whose waiter was interrupted.
+
+        An interrupted process detaches from the event it was waiting on,
+        leaving the event queued here with no listeners; a later ``put``
+        would then hand its item to nobody.  Returns how many orphaned
+        waiters were removed.
+        """
+        live_getters = deque(e for e in self._getters if e.callbacks)
+        live_putters = deque(p for p in self._putters if p[0].callbacks)
+        removed = (len(self._getters) - len(live_getters)
+                   + len(self._putters) - len(live_putters))
+        self._getters = live_getters
+        self._putters = live_putters
+        return removed
+
 
 class Container:
     """A continuous-quantity reservoir (e.g. bytes of buffer space)."""
@@ -280,6 +296,20 @@ class Container:
         self._getters.append((event, amount))
         self._settle()
         return event
+
+    def prune_cancelled(self) -> int:
+        """Drop queued puts/gets whose waiter was interrupted (see
+        :meth:`Store.prune_cancelled`); re-settles afterwards since removing
+        a blocked head may unblock the queue."""
+        live_getters = deque(g for g in self._getters if g[0].callbacks)
+        live_putters = deque(p for p in self._putters if p[0].callbacks)
+        removed = (len(self._getters) - len(live_getters)
+                   + len(self._putters) - len(live_putters))
+        self._getters = live_getters
+        self._putters = live_putters
+        if removed:
+            self._settle()
+        return removed
 
     def _settle(self) -> None:
         """Grant queued puts/gets while progress is possible (FIFO each side)."""

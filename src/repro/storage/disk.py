@@ -12,8 +12,19 @@ from typing import Optional
 from repro.sim import Resource, Simulator
 
 
+class DiskError(Exception):
+    """An injected (or modelled) device-level I/O error."""
+
+
 class SsdDevice:
-    """A single SSD with sequential bandwidth and fixed per-request latency."""
+    """A single SSD with sequential bandwidth and fixed per-request latency.
+
+    Fault-injection knobs (driven by :mod:`repro.faults`): a *latency
+    factor* scales service time (noisy-neighbour / flaky-virtual-disk
+    spikes) and a *failing* device raises :class:`DiskError` on every
+    request, which the layers above translate into replica failover or a
+    vRead fallback.
+    """
 
     def __init__(self, sim: Simulator, costs=None, name: str = "ssd"):
         # Imported here to keep repro.storage importable without touching
@@ -28,15 +39,37 @@ class SsdDevice:
         self.bytes_read = 0
         self.bytes_written = 0
         self.requests = 0
+        #: Service-time multiplier (injected latency spike; 1.0 = healthy).
+        self.latency_factor = 1.0
+        #: When True every request raises :class:`DiskError`.
+        self.failing = False
+        self.io_errors = 0
+
+    def set_latency_factor(self, factor: float) -> None:
+        """Degrade (or restore) the device's service time."""
+        if factor <= 0:
+            raise ValueError(f"latency factor must be positive: {factor}")
+        self.latency_factor = factor
+
+    def set_failing(self, failing: bool) -> None:
+        """Start/stop failing every request with :class:`DiskError`."""
+        self.failing = failing
 
     def _service_time(self, nbytes: int) -> float:
-        return (self.costs.ssd_request_latency
-                + nbytes / self.costs.ssd_bandwidth_bytes_per_sec)
+        return self.latency_factor * (
+            self.costs.ssd_request_latency
+            + nbytes / self.costs.ssd_bandwidth_bytes_per_sec)
+
+    def _check_health(self) -> None:
+        if self.failing:
+            self.io_errors += 1
+            raise DiskError(f"{self.name}: injected I/O error")
 
     def read(self, nbytes: int):
         """Generator: occupy the device for a read of ``nbytes``."""
         if nbytes < 0:
             raise ValueError(f"negative read size {nbytes}")
+        self._check_health()
         with self._channel.request() as grant:
             yield grant
             yield self.sim.timeout(self._service_time(nbytes))
@@ -47,6 +80,7 @@ class SsdDevice:
         """Generator: occupy the device for a write of ``nbytes``."""
         if nbytes < 0:
             raise ValueError(f"negative write size {nbytes}")
+        self._check_health()
         with self._channel.request() as grant:
             yield grant
             yield self.sim.timeout(self._service_time(nbytes))

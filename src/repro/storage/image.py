@@ -27,6 +27,13 @@ class DiskImage:
         self.name = name
         self.guest_fs = guest_fs if guest_fs is not None else FileSystem(
             name=f"{name}-fs")
+        #: Image-layer fault (snapshot-chain corruption, backing-file loss):
+        #: while set, loop mounts of this image fail every lookup so the
+        #: vRead path degrades and readers fail over to other replicas.
+        self.faulted = False
+
+    def set_faulted(self, faulted: bool) -> None:
+        self.faulted = faulted
 
     def cache_key(self, inode: Inode) -> Tuple[str, int]:
         """Host-page-cache key prefix for a file inside this image."""

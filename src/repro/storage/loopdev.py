@@ -59,8 +59,13 @@ class LoopMount:
         """Resolve ``path`` against the *snapshot* namespace.
 
         Raises :class:`FsError` for paths created after the last refresh,
-        even though they exist in the live guest filesystem.
+        even though they exist in the live guest filesystem, and for any
+        path while the underlying image is faulted.
         """
+        if self.image.faulted:
+            raise FsError(
+                f"image {self.image.name!r} faulted; mount "
+                f"{self.mount_point!r} unreadable")
         try:
             inode = self._dentries[path]
         except KeyError:
@@ -70,7 +75,7 @@ class LoopMount:
         return inode
 
     def exists(self, path: str) -> bool:
-        return path in self._dentries
+        return not self.image.faulted and path in self._dentries
 
     def read(self, path: str, offset: int, length: int) -> bytes:
         """Read file bytes through the mount (read-only)."""

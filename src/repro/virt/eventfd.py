@@ -34,5 +34,17 @@ class EventFd:
     def pending(self) -> int:
         return len(self._tokens)
 
+    def try_consume(self) -> bool:
+        """Non-blocking wait: consume one pending count if available."""
+        if not self.pending:
+            return False
+        self._tokens.try_get()
+        return True
+
+    def prune_cancelled(self) -> int:
+        """Drop waiters orphaned by an interrupted process (they would
+        otherwise swallow a future signal)."""
+        return self._tokens.prune_cancelled()
+
     def __repr__(self) -> str:
         return f"<EventFd {self.name} pending={self.pending}>"

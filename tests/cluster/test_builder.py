@@ -31,11 +31,45 @@ def test_four_vm_scenario_adds_lookbusy():
 
 def test_vanilla_vs_vread_client_types():
     vanilla = VirtualHadoopCluster(block_size=1 << 20)
-    assert isinstance(vanilla.client(), DfsClient)
-    assert not isinstance(vanilla.client(), VReadDfsClient)
+    assert isinstance(vanilla.clients.get(), DfsClient)
+    assert not isinstance(vanilla.clients.get(), VReadDfsClient)
     enabled = VirtualHadoopCluster(block_size=1 << 20, vread=True)
-    assert isinstance(enabled.client(), VReadDfsClient)
+    assert isinstance(enabled.clients.get(), VReadDfsClient)
     assert enabled.vread_manager is not None
+
+
+def test_clients_facade_modes():
+    enabled = VirtualHadoopCluster(block_size=1 << 20, vread=True)
+    assert isinstance(enabled.clients.get(mode="vread"), VReadDfsClient)
+    vanilla = enabled.clients.get(mode="vanilla")
+    assert isinstance(vanilla, DfsClient)
+    assert not isinstance(vanilla, VReadDfsClient)
+    with pytest.raises(ValueError, match="unknown client mode"):
+        enabled.clients.get(mode="turbo")
+    plain = VirtualHadoopCluster(block_size=1 << 20)
+    with pytest.raises(ValueError, match="vread=True"):
+        plain.clients.get(mode="vread")
+
+
+def test_clients_facade_per_vm():
+    cluster = VirtualHadoopCluster(block_size=1 << 20)
+    vm2 = cluster.add_client_vm("client2")
+    client2 = cluster.clients.get(vm=vm2)
+    assert client2.vm is vm2
+    # Same VM, same vanilla client (cached, so blacklists persist).
+    assert cluster.clients.get(vm=vm2) is client2
+    assert cluster.clients.get() is cluster.clients.get(mode="vanilla")
+
+
+def test_deprecated_client_aliases_still_work():
+    cluster = VirtualHadoopCluster(block_size=1 << 20)
+    with pytest.warns(DeprecationWarning, match="cluster.clients.get"):
+        assert cluster.client() is cluster.clients.get()
+    with pytest.warns(DeprecationWarning, match="mode='vanilla'"):
+        assert cluster.vanilla_client() is cluster.clients.get(mode="vanilla")
+    vm2 = cluster.add_client_vm("client2")
+    with pytest.warns(DeprecationWarning, match="vm=vm"):
+        assert cluster.client_for(vm2) is cluster.clients.get(vm=vm2)
 
 
 def test_config_validation():
@@ -45,6 +79,16 @@ def test_config_validation():
         ClusterConfig(total_vms_per_host=1)
     with pytest.raises(ValueError):
         VirtualHadoopCluster(ClusterConfig(), block_size=1)
+
+
+def test_from_kwargs_rejects_unknown_keys_helpfully():
+    with pytest.raises(TypeError) as excinfo:
+        ClusterConfig.from_kwargs(block_sized=1 << 20)
+    message = str(excinfo.value)
+    assert "block_sized" in message
+    assert "block_size" in message  # the did-you-mean suggestion
+    with pytest.raises(TypeError, match="valid options are"):
+        VirtualHadoopCluster(utterly_bogus=True)
 
 
 def test_set_frequency_applies_to_all_hosts():
@@ -65,7 +109,7 @@ def test_write_dataset_and_read_through_cluster_client():
     cluster.settle()
 
     def read():
-        source = yield from cluster.client().read_file("/data")
+        source = yield from cluster.clients.get().read_file("/data")
         return source
 
     got = cluster.run(cluster.sim.process(read()))

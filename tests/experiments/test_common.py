@@ -28,12 +28,32 @@ def test_figure_result_value_and_render():
         figure.value("s1", "missing")
 
 
+def test_figure_result_value_errors_name_whats_available():
+    figure = FigureResult("Fig X", "demo", "size", ["a", "b"],
+                          {"s1": [1.0, 2.0], "s2": [3.0, 4.0]})
+    with pytest.raises(KeyError, match=r"available series.*s1.*s2"):
+        figure.value("s3", "a")
+    with pytest.raises(ValueError, match=r"available size values.*a.*b"):
+        figure.value("s1", "c")
+
+
 def test_breakdown_result_render_orders_categories():
     breakdown = UtilizationBreakdown({CLIENT_APPLICATION: 0.5}, 1.0, 1)
     result = BreakdownResult("Fig Y", "demo", {"vRead": breakdown})
     text = result.render()
     assert "client-application" in text
     assert "50.0%" in text
+
+
+def test_breakdown_result_to_csv():
+    breakdown = UtilizationBreakdown({CLIENT_APPLICATION: 0.5}, 1.0, 1)
+    result = BreakdownResult("Fig Y", "demo", {"vRead": breakdown,
+                                               "vanilla": breakdown})
+    lines = result.to_csv().splitlines()
+    assert lines[0].startswith("bar,")
+    assert "client-application" in lines[0] and lines[0].endswith("total")
+    assert len(lines) == 3
+    assert lines[1].startswith("vRead,0.5")
 
 
 def test_breakdown_views_requires_mark():
@@ -51,7 +71,7 @@ def test_breakdown_views_measures_window():
     views.mark()
 
     def read():
-        yield from cluster.client().read_file("/f")
+        yield from cluster.clients.get().read_file("/f")
 
     cluster.run(cluster.sim.process(read()))
     collected = views.collect({"client": client_view(cluster),

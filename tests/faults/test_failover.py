@@ -1,0 +1,103 @@
+"""The two headline resilience scenarios from the fault-injection issue:
+
+* a datanode VM crash mid-read fails over to the surviving replica;
+* a vRead daemon crash mid-read degrades to the vanilla path and recovers
+  after the re-probe interval.
+
+Both are checksum-verified end to end.
+"""
+
+import pytest
+
+from repro.cluster import VirtualHadoopCluster
+from repro.faults import (
+    DaemonCrash,
+    DatanodeCrash,
+    FaultPlan,
+    RetryPolicy,
+    VReadClientPolicy,
+)
+from repro.storage.content import PatternSource
+
+BLOCK = 256 * 1024
+PAYLOAD = 1 << 20  # 4 blocks
+
+
+def load(cluster, path, payload):
+    def proc():
+        yield from cluster.write_dataset(path, payload)
+
+    cluster.run(cluster.sim.process(proc()))
+    cluster.settle()
+
+
+def read_all(cluster, client, path):
+    def proc():
+        source = yield from client.read_file(path, 64 * 1024)
+        return source
+
+    return cluster.run(cluster.sim.process(proc()))
+
+
+def test_datanode_crash_mid_read_fails_over_to_surviving_replica():
+    plan = FaultPlan().at(0.002, DatanodeCrash("dn1"))
+    cluster = VirtualHadoopCluster(block_size=BLOCK, replication=2,
+                                   faults=plan, seed=11)
+    payload = PatternSource(PAYLOAD, seed=5)
+    load(cluster, "/data", payload)
+
+    client = cluster.clients.get()
+    # Tight attempt budget so the half-dead connection is abandoned fast.
+    client.retry_policy = RetryPolicy(attempt_timeout=0.1, base_backoff=0.01)
+    cluster.faults.arm()
+
+    got = read_all(cluster, client, "/data")
+    assert got.checksum() == payload.checksum()
+    counters = cluster.fault_counters
+    assert counters.get("fault.datanode-crash") == 1
+    assert counters.get("recovery.replica-failover") >= 1
+    # The surviving replica actually served data.
+    assert cluster.datanodes[1].blocks_served > 0
+    assert client.is_blacklisted("dn1")
+
+
+def test_daemon_crash_mid_read_degrades_to_vanilla_and_recovers():
+    # The whole vRead read takes ~1.7ms; crash the daemon halfway through.
+    plan = FaultPlan().at(0.0005, DaemonCrash(duration=0.3))
+    cluster = VirtualHadoopCluster(block_size=BLOCK, replication=2,
+                                   vread=True, faults=plan, seed=11)
+    cluster.vread_manager.client_policy = VReadClientPolicy(
+        open_timeout=0.05, read_timeout=0.05, reprobe_interval=0.2)
+    payload = PatternSource(PAYLOAD, seed=6)
+    load(cluster, "/data", payload)
+
+    client = cluster.clients.get()
+    library = cluster.vread_manager.library_of(cluster.client_vm)
+    cluster.faults.arm()
+
+    # Read #1: the daemon dies under it.  The library degrades and the
+    # stream finishes the file over the vanilla datanode path.
+    got = read_all(cluster, client, "/data")
+    assert got.checksum() == payload.checksum()
+    counters = cluster.fault_counters
+    assert counters.get("fault.daemon-crash") == 1
+    assert counters.get("recovery.vread-degraded") == 1
+    assert counters.get("recovery.fallback-vanilla") >= 1
+    assert library.degraded
+
+    # Let the daemon restart and the re-probe window elapse.
+    def idle():
+        yield cluster.sim.timeout(1.0)
+
+    cluster.run(cluster.sim.process(idle()))
+    assert counters.get("fault.daemon-restart") == 1
+
+    # Read #2: the first call re-probes the daemon, recovers, and vRead
+    # serves the rest of the file again.
+    vread_reads_before = library.reads
+    got = read_all(cluster, client, "/data")
+    assert got.checksum() == payload.checksum()
+    assert counters.get("recovery.daemon-reprobe") >= 1
+    assert counters.get("recovery.daemon-recovered") == 1
+    assert not library.degraded
+    assert library.reads > vread_reads_before

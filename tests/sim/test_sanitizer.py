@@ -216,7 +216,7 @@ def test_sanitized_cluster_read_stays_clean(monkeypatch):
     cluster.settle()
 
     def read():
-        source = yield from cluster.client().read_file("/sanitized")
+        source = yield from cluster.clients.get().read_file("/sanitized")
         return source
 
     source = cluster.run(cluster.sim.process(read()))

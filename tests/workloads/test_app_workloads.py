@@ -31,7 +31,7 @@ def load_files(cluster, paths, size, seed=1):
 def test_mapreduce_runs_all_tasks(cluster):
     paths = [f"/in/f{i}" for i in range(3)]
     load_files(cluster, paths, 128 * 1024)
-    engine = MiniMapReduce(cluster.client(), map_slots=2)
+    engine = MiniMapReduce(cluster.clients.get(), map_slots=2)
 
     def proc():
         return (yield from engine.run([MapSpec(p, 64 * 1024) for p in paths]))
@@ -44,7 +44,7 @@ def test_mapreduce_runs_all_tasks(cluster):
 
 def test_mapreduce_mapper_collects_output(cluster):
     load_files(cluster, ["/in/f0"], 128 * 1024)
-    engine = MiniMapReduce(cluster.client())
+    engine = MiniMapReduce(cluster.clients.get())
 
     def proc():
         return (yield from engine.run(
@@ -56,11 +56,11 @@ def test_mapreduce_mapper_collects_output(cluster):
 
 def test_mapreduce_slot_validation(cluster):
     with pytest.raises(ValueError):
-        MiniMapReduce(cluster.client(), map_slots=0)
+        MiniMapReduce(cluster.clients.get(), map_slots=0)
 
 
 def test_mapreduce_empty_job(cluster):
-    engine = MiniMapReduce(cluster.client())
+    engine = MiniMapReduce(cluster.clients.get())
 
     def proc():
         return (yield from engine.run([]))
@@ -70,7 +70,7 @@ def test_mapreduce_empty_job(cluster):
 
 # ----------------------------------------------------------------- TestDFSIO
 def test_dfsio_write_then_read(cluster):
-    dfsio = TestDfsio(cluster.client(), request_bytes=256 * 1024)
+    dfsio = TestDfsio(cluster.clients.get(), request_bytes=256 * 1024)
 
     def proc():
         write_result = yield from dfsio.write(2, 512 * 1024, favored=["dn1"])
@@ -88,7 +88,7 @@ def test_dfsio_write_then_read(cluster):
 def test_dfsio_vread_beats_vanilla_throughput():
     def measure(vread):
         cluster = VirtualHadoopCluster(block_size=1 << 20, vread=vread)
-        dfsio = TestDfsio(cluster.client(), request_bytes=1 << 20)
+        dfsio = TestDfsio(cluster.clients.get(), request_bytes=1 << 20)
 
         def proc():
             yield from dfsio.write(1, 4 << 20, favored=["dn1"])
@@ -105,7 +105,7 @@ def test_dfsio_vread_beats_vanilla_throughput():
 
 # --------------------------------------------------------------------- HBase
 def test_hbase_operations(cluster):
-    table = HBaseTable(cluster.client(), row_bytes=256, rows_per_region=1024)
+    table = HBaseTable(cluster.clients.get(), row_bytes=256, rows_per_region=1024)
 
     def proc():
         yield from table.load(2048)
@@ -124,7 +124,7 @@ def test_hbase_operations(cluster):
 
 
 def test_hbase_spans_regions(cluster):
-    table = HBaseTable(cluster.client(), row_bytes=128, rows_per_region=512)
+    table = HBaseTable(cluster.clients.get(), row_bytes=128, rows_per_region=512)
 
     def proc():
         yield from table.load(1500)  # 3 regions
@@ -135,7 +135,7 @@ def test_hbase_spans_regions(cluster):
 
 
 def test_hbase_empty_table_random_read_rejected(cluster):
-    table = HBaseTable(cluster.client())
+    table = HBaseTable(cluster.clients.get())
 
     def proc():
         yield from table.random_read(1)
@@ -147,7 +147,7 @@ def test_hbase_empty_table_random_read_rejected(cluster):
 
 # ---------------------------------------------------------------------- Hive
 def test_hive_query_counts_matches(cluster):
-    table = HiveTable(cluster.client(), row_bytes=64, rows_per_file=1024)
+    table = HiveTable(cluster.clients.get(), row_bytes=64, rows_per_file=1024)
 
     def proc():
         yield from table.load(3000)
@@ -161,7 +161,7 @@ def test_hive_query_counts_matches(cluster):
 
 
 def test_hive_load_validation(cluster):
-    table = HiveTable(cluster.client())
+    table = HiveTable(cluster.clients.get())
 
     def proc():
         yield from table.load(0)
@@ -176,8 +176,8 @@ def test_sqoop_export_moves_all_rows():
     cluster = VirtualHadoopCluster(n_hosts=3, block_size=1 << 20)
     mysql_vm = VirtualMachine(cluster.hosts[2], "mysql")
     mysql = MySqlServer(mysql_vm, cluster.network)
-    table = HiveTable(cluster.client(), row_bytes=64, rows_per_file=1024)
-    export = SqoopExport(cluster.client(), mysql, cluster.network,
+    table = HiveTable(cluster.clients.get(), row_bytes=64, rows_per_file=1024)
+    export = SqoopExport(cluster.clients.get(), mysql, cluster.network,
                          batch_rows=500)
 
     def proc():

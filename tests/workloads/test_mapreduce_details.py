@@ -25,7 +25,7 @@ def load(cluster, paths, size=128 * 1024):
 def test_mapper_factory_gives_each_task_its_own_state(cluster):
     paths = [f"/in/f{i}" for i in range(4)]
     load(cluster, paths)
-    engine = MiniMapReduce(cluster.client(), map_slots=2)
+    engine = MiniMapReduce(cluster.clients.get(), map_slots=2)
     instances = []
 
     def factory(spec):
@@ -52,7 +52,7 @@ def test_mapper_factory_gives_each_task_its_own_state(cluster):
 
 
 def test_mapper_and_factory_are_mutually_exclusive(cluster):
-    engine = MiniMapReduce(cluster.client())
+    engine = MiniMapReduce(cluster.clients.get())
 
     def proc():
         yield from engine.run([], mapper=lambda piece: None,
@@ -65,7 +65,7 @@ def test_mapper_and_factory_are_mutually_exclusive(cluster):
 
 def test_heartbeat_stops_with_the_job(cluster):
     load(cluster, ["/in/f0"])
-    engine = MiniMapReduce(cluster.client(), heartbeat_interval=0.001)
+    engine = MiniMapReduce(cluster.clients.get(), heartbeat_interval=0.001)
 
     def proc():
         yield from engine.run([MapSpec("/in/f0", 64 * 1024)])
@@ -83,7 +83,7 @@ def test_heartbeat_cpu_scales_with_duration(cluster):
     vcpu_name = cluster.client_vm.vcpu.name
 
     def run_with(duty):
-        engine = MiniMapReduce(cluster.client(), heartbeat_interval=0.001,
+        engine = MiniMapReduce(cluster.clients.get(), heartbeat_interval=0.001,
                                heartbeat_duty=duty,
                                map_cycles_per_byte=0.0,
                                map_cycles_per_call=0.0)
@@ -122,7 +122,7 @@ def test_map_slots_bound_concurrency(cluster):
                 active["now"] -= 1
             return result
 
-    engine = CountingEngine(cluster.client(), map_slots=2)
+    engine = CountingEngine(cluster.clients.get(), map_slots=2)
 
     def proc():
         yield from engine.run([MapSpec(p, 64 * 1024) for p in paths])

@@ -47,7 +47,7 @@ def test_zipfian_samples_always_in_range(n, seed):
 @pytest.fixture
 def loaded_table():
     cluster = VirtualHadoopCluster(block_size=1 << 20, vread=True)
-    table = HBaseTable(cluster.client(), row_bytes=256,
+    table = HBaseTable(cluster.clients.get(), row_bytes=256,
                        rows_per_region=2048,
                        get_cycles_per_row=20_000)
 
@@ -125,6 +125,6 @@ def test_ycsb_validation(loaded_table):
 
 def test_ycsb_empty_table_rejected():
     cluster = VirtualHadoopCluster(block_size=1 << 20)
-    table = HBaseTable(cluster.client())
+    table = HBaseTable(cluster.clients.get())
     with pytest.raises(ValueError, match="empty"):
         YcsbWorkload(table)
