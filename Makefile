@@ -1,6 +1,6 @@
 # Convenience targets for the vRead reproduction.
 
-.PHONY: install test lint chaos bench report paper-report quick-report demo clean
+.PHONY: install test lint chaos bench bench-quick bench-tables report paper-report quick-report demo clean
 
 install:
 	python setup.py develop
@@ -16,6 +16,12 @@ chaos:
 	PYTHONPATH=src python examples/failure_drill.py
 
 bench:
+	python benchmarks/perf/bench_pr3.py --out BENCH_pr3.json
+
+bench-quick:
+	python benchmarks/perf/bench_pr3.py --quick --out BENCH_pr3.json
+
+bench-tables:
 	pytest benchmarks/ --benchmark-only
 
 report:

@@ -1,0 +1,198 @@
+"""PR 3 performance harness: wall-clock + peak RSS for the fast paths.
+
+Measures three workloads, each in a fresh subprocess (clean caches, clean
+RSS high-water mark):
+
+* the Fig 11 TestDFSIO sweep through the parallel runner at ``--jobs 1``
+  vs ``--jobs 4`` (plus a byte-identity check between the two);
+* the chaos scenario (seeded fault storms) at ``--jobs 1`` vs ``--jobs 4``
+  (same byte-identity check);
+* a 64-client scale run and a single 64 MB verified block read, each in
+  the legacy bytes plane vs the zero-copy buffer plane
+  (``REPRO_LEGACY_BUFFERS`` toggle).
+
+Writes the results as JSON (see docs/performance.md for the format) and
+exits non-zero if any parallel run diverges from its serial twin — CI runs
+this with ``--quick`` as the determinism gate.
+
+Wall-clock use is deliberate and allowed here: this file measures the
+*host* runtime of the simulator, it is not simulation code (simlint scans
+``src/repro`` only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import platform
+import resource
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..",
+                                "src"))
+
+
+def _measure_in_child(target, kwargs, conn):
+    started = time.monotonic()
+    payload = target(**kwargs)
+    elapsed = time.monotonic() - started
+    max_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    conn.send({"wall_s": round(elapsed, 3), "max_rss_mb":
+               round(max_rss_kb / 1024, 1), "payload": payload})
+    conn.close()
+
+
+def measure(target, **kwargs):
+    """Run ``target(**kwargs)`` in a fresh process; return timing + result.
+
+    A subprocess per measurement keeps the checksum memos, sweep caches and
+    RSS high-water mark of one phase from contaminating the next.
+    """
+    parent, child = multiprocessing.Pipe(duplex=False)
+    proc = multiprocessing.Process(target=_measure_in_child,
+                                   args=(target, kwargs, child))
+    proc.start()
+    child.close()
+    result = parent.recv()
+    proc.join()
+    if proc.exitcode != 0:
+        raise RuntimeError(f"benchmark child failed: {target.__name__}")
+    return result
+
+
+# ----------------------------------------------------------- child workloads
+def _run_sweep(name, profile, jobs):
+    from repro.experiments import runner
+    result = runner.run_experiment(name, profile=profile, jobs=jobs, seed=0)
+    return runner.canonical_json(result)
+
+
+def _run_block_read(file_bytes, legacy):
+    from repro.cluster import VirtualHadoopCluster
+    from repro.storage.content import PatternSource, use_legacy_buffers
+
+    use_legacy_buffers(legacy)
+    payload = PatternSource(file_bytes, seed=42)
+    # One whole HDFS block: the zero-copy plane serves it as a single
+    # source view, so the verify step can reuse the writer's block digest.
+    cluster = VirtualHadoopCluster(vread=True, block_size=file_bytes)
+
+    def load():
+        yield from cluster.write_dataset("/bench", payload, favored=["dn1"])
+
+    cluster.run(cluster.sim.process(load()))
+    cluster.settle()
+    cluster.drop_all_caches()
+
+    def read():
+        source = yield from cluster.clients.get().read_file("/bench")
+        return source
+
+    source = cluster.run(cluster.sim.process(read()))
+    assert source.checksum() == payload.checksum()
+    return {"simulated_ms": round(cluster.sim.now * 1e3, 3)}
+
+
+def _run_scale(n_clients, file_bytes, legacy):
+    from repro.experiments.scale_clients import _measure
+    from repro.storage.content import use_legacy_buffers
+
+    use_legacy_buffers(legacy)
+    aggregate = _measure(True, n_clients, file_bytes)
+    return {"aggregate_mbps": round(aggregate, 1)}
+
+
+# ------------------------------------------------------------------ phases
+def bench_sweep(name, profile, out, failures):
+    serial = measure(_run_sweep, name=name, profile=profile, jobs=1)
+    fanned = measure(_run_sweep, name=name, profile=profile, jobs=4)
+    identical = serial.pop("payload") == fanned.pop("payload")
+    out["benchmarks"][f"{name}_jobs1"] = serial
+    out["benchmarks"][f"{name}_jobs4"] = fanned
+    out["determinism"][name] = identical
+    out["speedups"][f"{name}_jobs4_vs_jobs1"] = round(
+        serial["wall_s"] / fanned["wall_s"], 2)
+    if not identical:
+        failures.append(f"{name}: --jobs 4 diverged from --jobs 1")
+    print(f"  {name:12s} jobs1 {serial['wall_s']:6.2f}s   "
+          f"jobs4 {fanned['wall_s']:6.2f}s   "
+          f"identical={identical}")
+
+
+def bench_plane(label, target, out, speedup_key, **kwargs):
+    legacy = measure(target, legacy=True, **kwargs)
+    fast = measure(target, legacy=False, **kwargs)
+    assert legacy.pop("payload") == fast.pop("payload"), \
+        f"{label}: legacy and zero-copy planes disagree on simulated results"
+    out["benchmarks"][f"{label}_legacy"] = legacy
+    out["benchmarks"][f"{label}_fast"] = fast
+    out["speedups"][speedup_key] = round(
+        legacy["wall_s"] / fast["wall_s"], 2)
+    print(f"  {label:12s} legacy {legacy['wall_s']:6.2f}s   "
+          f"fast {fast['wall_s']:6.2f}s   "
+          f"{out['speedups'][speedup_key]:.2f}x")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized datasets (minutes -> seconds)")
+    parser.add_argument("--out", default="BENCH_pr3.json",
+                        help="output JSON path (default: BENCH_pr3.json)")
+    args = parser.parse_args(argv)
+
+    profile = "quick" if args.quick else "default"
+    block_bytes = (16 << 20) if args.quick else (64 << 20)
+    scale_bytes = (1 << 20) if args.quick else (4 << 20)
+
+    out = {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "profile": profile,
+        "benchmarks": {},
+        "determinism": {},
+        "speedups": {},
+        "notes": [],
+    }
+    failures = []
+
+    print(f"parallel fan-out (profile={profile}):")
+    bench_sweep("fig11", profile, out, failures)
+    bench_sweep("chaos-sweep", profile, out, failures)
+
+    print("zero-copy data plane:")
+    bench_plane("block_read", _run_block_read, out,
+                "block_read_fast_vs_legacy", file_bytes=block_bytes)
+    bench_plane("scale64", _run_scale, out, "scale64_fast_vs_legacy",
+                n_clients=64, file_bytes=scale_bytes)
+
+    if out["host"]["cpu_count"] == 1:
+        out["notes"].append(
+            "host has a single CPU: --jobs 4 cannot beat --jobs 1 here "
+            "(process fan-out needs cores); the jobs4 rows demonstrate "
+            "byte-identical determinism, the speedup lands on multi-core "
+            "hosts")
+    out["notes"].append(
+        f"block_read = one cold {block_bytes >> 20}MB verified read; "
+        f"scale64 = 64 client VMs x {scale_bytes >> 20}MB warm reads")
+
+    with open(args.out, "w") as handle:
+        json.dump(out, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if failures:
+        for failure in failures:
+            print(f"DETERMINISM FAILURE: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,10 +2,15 @@
 
 Commands:
 
-* ``list`` — enumerate the available experiments.
-* ``run <name> [--quick]`` — run one experiment (or ``all``) and print its
-  paper-style table(s).
+* ``list`` — enumerate the registered experiments.
+* ``run <name> [--quick|--paper] [--jobs N] [--seed S] [--json OUT]`` — run
+  one experiment (or ``all``) and print its paper-style table(s).
+  ``--jobs`` fans sweep-shaped experiments out over worker processes;
+  parallel and serial runs produce byte-identical results.
 * ``demo`` — the quickstart: vanilla vs vRead on one file, verified.
+
+The experiment table itself lives in :mod:`repro.experiments.registry`;
+this module is a thin client of it.
 """
 
 from __future__ import annotations
@@ -14,104 +19,66 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional
 
+from repro.experiments import registry
+
+#: name -> one-line description, in report order (mirrors the registry).
 EXPERIMENTS: Dict[str, str] = {
-    "fig02": "HDFS-in-VM vs local read delay (motivation)",
-    "fig03": "netperf TCP_RR under I/O-thread contention",
-    "fig06": "CPU breakdown, co-located read",
-    "fig07": "CPU breakdown, remote read (RDMA)",
-    "fig08": "CPU breakdown, remote read (TCP daemons)",
-    "fig09": "data access delay, vanilla vs vRead",
-    "fig11": "TestDFSIO throughput (6 panels x 3 frequencies)",
-    "fig12": "TestDFSIO CPU running time",
-    "fig13": "TestDFSIO-write throughput (vRead_update overhead)",
-    "table2": "HBase scan / sequential / random read",
-    "table3": "Hive select + Sqoop export",
-    "ablation-direct-read": "mounted host FS vs direct-read bypass (§6)",
-    "ablation-transport": "RDMA vs TCP daemon transports",
-    "ablation-ring": "shared-ring geometry sweep",
-    "ablation-packet-size": "HDFS packet-size sweep",
-    "ablation-cache-size": "host page-cache size vs re-read speed",
-    "scale-clients": "multi-client scale-out (extension)",
-    "sensitivity": "cost-model perturbation robustness",
+    spec.name: spec.title for spec in registry.specs()
 }
 
 
+def _profile(args) -> str:
+    if getattr(args, "paper", False):
+        return "paper"
+    return "quick" if args.quick else "default"
+
+
 def _runner_for(name: str, quick: bool) -> Callable[[], object]:
-    mb = 1 << 20
-    file_bytes = 8 * mb if quick else 32 * mb
-    if name == "fig02":
-        from repro.experiments import fig02_motivation_delay as module
-        return lambda: module.run(file_bytes=(8 * mb if quick else 16 * mb))
-    if name == "fig03":
-        from repro.experiments import fig03_iothread_sync as module
-        return lambda: module.run(duration=0.1 if quick else 0.3)
-    if name in ("fig06", "fig07", "fig08"):
-        from repro.experiments import cpu_breakdowns as module
-        runner = {"fig06": module.run_fig06, "fig07": module.run_fig07,
-                  "fig08": module.run_fig08}[name]
-        return lambda: runner(file_bytes=file_bytes)
-    if name == "fig09":
-        from repro.experiments import fig09_vread_delay as module
-        return lambda: module.run(file_bytes=(8 * mb if quick else 16 * mb))
-    if name == "fig11":
-        from repro.experiments import fig11_dfsio_throughput as module
-        return lambda: module.run(file_bytes=file_bytes)
-    if name == "fig12":
-        from repro.experiments import fig12_dfsio_cputime as module
-        return lambda: module.run(file_bytes=file_bytes)
-    if name == "fig13":
-        from repro.experiments import fig13_write_throughput as module
-        return lambda: module.run(file_bytes=file_bytes)
-    if name == "table2":
-        from repro.experiments import table2_hbase as module
-        return lambda: module.run(n_rows=8_192 if quick else 32_768)
-    if name == "table3":
-        from repro.experiments import table3_hive_sqoop as module
-        return lambda: module.run(n_rows=65_536 if quick else 262_144)
-    if name == "ablation-direct-read":
-        from repro.experiments import ablation_direct_read as module
-        return lambda: module.run(file_bytes=file_bytes)
-    if name == "ablation-transport":
-        from repro.experiments import ablation_transport as module
-        return lambda: module.run(file_bytes=file_bytes)
-    if name == "ablation-ring":
-        from repro.experiments import ablation_ring as module
-        return lambda: module.run(file_bytes=file_bytes)
-    if name == "ablation-packet-size":
-        from repro.experiments import ablation_packet_size as module
-        return lambda: module.run(file_bytes=file_bytes)
-    if name == "ablation-cache-size":
-        from repro.experiments import ablation_cache_size as module
-        return lambda: module.run(file_bytes=file_bytes)
-    if name == "scale-clients":
-        from repro.experiments import scale_clients as module
-        return lambda: module.run(file_bytes=(4 * mb if quick else 16 * mb))
-    if name == "sensitivity":
-        from repro.experiments import sensitivity as module
-        return lambda: module.run(file_bytes=(4 * mb if quick else 16 * mb))
-    raise KeyError(name)
+    """Compat shim for the pre-registry CLI: a zero-arg runner for ``name``.
+
+    New code should call :func:`repro.experiments.runner.run_experiment`
+    directly (which also accepts ``jobs`` and ``seed``).
+    """
+    from repro.experiments import runner
+
+    registry.get(name)  # raise KeyError early for unknown names
+    profile = "quick" if quick else "default"
+    return lambda: runner.run_experiment(name, profile=profile)
 
 
 def cmd_list(_args) -> int:
     width = max(len(name) for name in EXPERIMENTS)
     for name, description in EXPERIMENTS.items():
         print(f"  {name.ljust(width)}  {description}")
-    print("\nrun one with: python -m repro run <name>   (or 'all')")
+    print("\nrun one with: python -m repro run <name>   (or 'all'; "
+          "--jobs N parallelizes sweeps)")
     return 0
 
 
 def cmd_run(args) -> int:
     if args.experiment == "all":
         from repro.experiments import run_all
-        return run_all.main(["--quick"] if args.quick else [])
+        argv = []
+        if args.quick:
+            argv.append("--quick")
+        if args.paper:
+            argv.append("--paper")
+        if args.jobs != 1:
+            argv += ["--jobs", str(args.jobs)]
+        return run_all.main(argv)
+    from repro.experiments import runner
     try:
-        runner = _runner_for(args.experiment, args.quick)
+        registry.get(args.experiment)
     except KeyError:
         print(f"unknown experiment {args.experiment!r}; "
               f"try: python -m repro list", file=sys.stderr)
         return 2
-    result = runner()
+    result = runner.run_experiment(args.experiment, profile=_profile(args),
+                                   jobs=args.jobs, seed=args.seed)
     print(result.render())
+    if args.json:
+        runner.write_json(result, args.json)
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -157,6 +124,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser_run.add_argument("experiment")
     parser_run.add_argument("--quick", action="store_true",
                             help="smaller datasets")
+    parser_run.add_argument("--paper", action="store_true",
+                            help="paper-sized datasets")
+    parser_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="worker processes for sweep fan-out "
+                                 "(default: 1 = serial)")
+    parser_run.add_argument("--seed", type=int, default=0, metavar="S",
+                            help="root seed for seeded sweeps (default: 0)")
+    parser_run.add_argument("--json", metavar="OUT",
+                            help="also write the result as JSON to OUT")
     parser_run.set_defaults(func=cmd_run)
 
     parser_demo = sub.add_parser("demo", help="vanilla-vs-vRead quick demo")
@@ -167,6 +143,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "quick", False) and getattr(args, "paper", False):
+        parser.error("--quick and --paper are mutually exclusive")
     return args.func(args)
 
 

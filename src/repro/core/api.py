@@ -197,6 +197,10 @@ class VReadLibrary:
         self._recovered()
         self.reads += 1
         descriptor.offset = offset + received
+        if len(pieces) == 1:
+            # Single-chunk responses (the common case for reads up to
+            # chunk_bytes) skip the concat wrapper entirely.
+            return pieces[0]
         return ConcatSource(pieces)
 
     def vread_seek(self, descriptor: VReadDescriptor, offset: int):

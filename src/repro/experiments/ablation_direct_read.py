@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import load_dataset
+from repro.experiments.common import load_dataset, warn_deprecated_main
 from repro.metrics.report import Table
 from repro.storage.content import PatternSource
 
@@ -71,7 +71,8 @@ def run(file_bytes: int = 32 << 20) -> DirectReadResult:
 
 
 def main() -> None:
-    """Entry point: run the experiment and print the rendered result."""
+    """Deprecated entry point; use ``python -m repro run ablation-direct-read``."""
+    warn_deprecated_main("ablation_direct_read", "ablation-direct-read")
     result = run()
     print(result.render())
     print(f"  re-read penalty of bypassing the host FS: "

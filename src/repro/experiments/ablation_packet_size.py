@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Sequence
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import load_dataset
+from repro.experiments.common import load_dataset, warn_deprecated_main
 from repro.metrics.report import Table
 from repro.storage.content import PatternSource
 
@@ -66,7 +66,8 @@ def run(file_bytes: int = 32 << 20,
 
 
 def main() -> None:
-    """Entry point: run the experiment and print the rendered result."""
+    """Deprecated entry point; use ``python -m repro run ablation-packet-size``."""
+    warn_deprecated_main("ablation_packet_size", "ablation-packet-size")
     result = run()
     print(result.render())
 

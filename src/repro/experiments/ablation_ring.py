@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import load_dataset
+from repro.experiments.common import load_dataset, warn_deprecated_main
 from repro.metrics.report import Table
 from repro.storage.content import PatternSource
 
@@ -70,7 +70,8 @@ def run(file_bytes: int = 32 << 20,
 
 
 def main() -> None:
-    """Entry point: run the experiment and print the rendered result."""
+    """Deprecated entry point; use ``python -m repro run ablation-ring``."""
+    warn_deprecated_main("ablation_ring", "ablation-ring")
     result = run()
     print(result.render())
     (slots, chunk), mbps = result.best()

@@ -11,7 +11,8 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import daemon_view, load_dataset
+from repro.experiments.common import (
+    daemon_view, load_dataset, warn_deprecated_main)
 from repro.metrics.report import Table
 from repro.storage.content import PatternSource
 
@@ -74,7 +75,8 @@ def run(file_bytes: int = 32 << 20) -> TransportResult:
 
 
 def main() -> None:
-    """Entry point: run the experiment and print the rendered result."""
+    """Deprecated entry point; use ``python -m repro run ablation-transport``."""
+    warn_deprecated_main("ablation_transport", "ablation-transport")
     result = run()
     print(result.render())
     print(f"  TCP daemons burn {result.cpu_ratio:.1f}x the CPU of RDMA "

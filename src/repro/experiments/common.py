@@ -2,12 +2,25 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.cluster import VirtualHadoopCluster
 from repro.metrics.accounting import UtilizationBreakdown
 from repro.metrics.report import Table, format_figure_series
+
+
+def _csv_field(value) -> str:
+    """One RFC-4180 CSV field: quote when it contains , " or a newline."""
+    text = value if isinstance(value, str) else str(value)
+    if any(ch in text for ch in ',"\r\n'):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def _csv_row(fields) -> str:
+    return ",".join(_csv_field(item) for item in fields)
 
 
 @dataclass
@@ -49,13 +62,16 @@ class FigureResult:
         return self.series[series][self.x_values.index(x)]
 
     def to_csv(self) -> str:
-        """The series as CSV (header row: x_label + series names)."""
-        header = [self.x_label] + list(self.series)
-        lines = [",".join(header)]
+        """The series as CSV (header row: x_label + series names).
+
+        Fields are RFC-4180 quoted, so series names like
+        ``"re-read, cached"`` survive a round-trip through csv readers.
+        """
+        lines = [_csv_row([self.x_label] + list(self.series))]
         for i, x in enumerate(self.x_values):
             row = [str(x)] + [repr(values[i])
                               for values in self.series.values()]
-            lines.append(",".join(row))
+            lines.append(_csv_row(row))
         return "\n".join(lines)
 
 
@@ -93,10 +109,10 @@ class BreakdownResult:
             for name, _ in breakdown.rows():
                 if name not in categories:
                     categories.append(name)
-        lines = [",".join(["bar"] + categories + ["total"])]
+        lines = [_csv_row(["bar"] + categories + ["total"])]
         for label, breakdown in self.bars.items():
             cells = [repr(breakdown.get(c)) for c in categories]
-            lines.append(",".join([label] + cells + [repr(breakdown.total)]))
+            lines.append(_csv_row([label] + cells + [repr(breakdown.total)]))
         return "\n".join(lines)
 
 
@@ -199,5 +215,27 @@ def load_dataset(cluster: VirtualHadoopCluster, path: str, source,
 
 
 def pct_improvement(baseline: float, improved: float) -> float:
-    """Percentage improvement of ``improved`` over ``baseline``."""
+    """Percentage improvement of ``improved`` over ``baseline``.
+
+    A zero (or denormal-tiny) baseline has no meaningful percentage and
+    would silently return ``inf``/``nan`` into a report table; raise a
+    diagnosis instead so the caller fixes the measurement.
+    """
+    if abs(baseline) < 1e-12:
+        raise ValueError(
+            f"pct_improvement: baseline {baseline!r} is zero or near zero; "
+            f"a percentage improvement over it is undefined "
+            f"(improved={improved!r})")
     return (improved - baseline) / baseline * 100.0
+
+
+def warn_deprecated_main(module: str, replacement: str) -> None:
+    """Deprecation shim for per-module ``main()`` entry points.
+
+    The registry-backed CLI replaced them; each shim still runs, but warns
+    with the ``python -m repro run <name>`` command to use instead.
+    """
+    warnings.warn(
+        f"'python -m repro.experiments.{module}' is deprecated; "
+        f"use: python -m repro run {replacement}",
+        DeprecationWarning, stacklevel=3)

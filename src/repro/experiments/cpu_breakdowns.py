@@ -28,7 +28,7 @@ from repro.experiments.common import (
     daemon_view,
     datanode_view,
     load_dataset,
-)
+    warn_deprecated_main)
 from repro.storage.content import PatternSource
 
 
@@ -131,7 +131,8 @@ def run_fig08(file_bytes: int = 64 << 20,
 
 
 def main() -> None:
-    """Entry point: run the experiment and print the rendered result."""
+    """Deprecated entry point; use ``python -m repro run fig06``."""
+    warn_deprecated_main("cpu_breakdowns", "fig06")
     for runner in (run_fig06, run_fig07, run_fig08):
         result = runner(file_bytes=32 << 20)
         print(result.render())

@@ -13,7 +13,8 @@ from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import FigureResult, load_dataset
+from repro.experiments.common import (
+    FigureResult, load_dataset, warn_deprecated_main)
 from repro.storage.content import PatternSource
 from repro.workloads.filereader import FileReadBenchmark
 
@@ -87,7 +88,8 @@ def run(file_bytes: int = 16 << 20,
 
 
 def main() -> None:
-    """Entry point: run the experiment and print the rendered result."""
+    """Deprecated entry point; use ``python -m repro run fig02``."""
+    warn_deprecated_main("fig02_motivation_delay", "fig02")
     print(run().render())
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import FigureResult
+from repro.experiments.common import FigureResult, warn_deprecated_main
 from repro.workloads.netperf import NetperfRR
 
 REQUEST_SIZES = (32 * 1024, 64 * 1024, 128 * 1024)
@@ -51,7 +51,8 @@ def run(request_sizes: Sequence[int] = REQUEST_SIZES,
 
 
 def main() -> None:
-    """Entry point: run the experiment and print the rendered result."""
+    """Deprecated entry point; use ``python -m repro run fig03``."""
+    warn_deprecated_main("fig03_iothread_sync", "fig03")
     result = run()
     print(result.render())
     for i, size in enumerate(result.x_values):

@@ -12,7 +12,8 @@ from dataclasses import dataclass
 from typing import Dict, Sequence
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import FigureResult, load_dataset
+from repro.experiments.common import (
+    FigureResult, load_dataset, warn_deprecated_main)
 from repro.storage.content import PatternSource
 from repro.workloads.filereader import FileReadBenchmark
 
@@ -92,7 +93,8 @@ def run(file_bytes: int = 16 << 20,
 
 
 def main() -> None:
-    """Entry point: run the experiment and print the rendered result."""
+    """Deprecated entry point; use ``python -m repro run fig09``."""
+    warn_deprecated_main("fig09_vread_delay", "fig09")
     result = run()
     print(result.render())
     for vms in ("2vms", "4vms"):

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
-from repro.experiments.common import FigureResult
+from repro.experiments.common import FigureResult, warn_deprecated_main
 from repro.experiments.dfsio_sweep import MODES, SCENARIOS, VM_COUNTS, run_sweep
 from repro.hostmodel.frequency import PAPER_FREQUENCIES, frequency_label
 
@@ -70,7 +70,8 @@ def run(frequencies: Sequence[float] = PAPER_FREQUENCIES,
 
 
 def main() -> None:
-    """Entry point: run the experiment and print the rendered result."""
+    """Deprecated entry point; use ``python -m repro run fig11``."""
+    warn_deprecated_main("fig11_dfsio_throughput", "fig11")
     result = run()
     print(result.render())
     print("\nheadline checks:")

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.common import FigureResult
+from repro.experiments.common import FigureResult, warn_deprecated_main
 from repro.experiments.dfsio_sweep import SCENARIOS, run_cell
 from repro.hostmodel.frequency import GHZ_2_0
 
@@ -38,7 +38,8 @@ def run(scenarios: Sequence[str] = SCENARIOS,
 
 
 def main() -> None:
-    """Entry point: run the experiment and print the rendered result."""
+    """Deprecated entry point; use ``python -m repro run fig13``."""
+    warn_deprecated_main("fig13_write_throughput", "fig13")
     result = run()
     print(result.render())
     for i, scenario in enumerate(result.x_values):

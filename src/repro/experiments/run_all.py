@@ -2,10 +2,16 @@
 
 Usage::
 
-    python -m repro.experiments.run_all [--quick]
+    python -m repro.experiments.run_all [--quick|--paper] [--ablations]
+                                        [--jobs N]
 
 ``--quick`` shrinks dataset sizes (used in CI); the default sizes are the
-ones recorded in EXPERIMENTS.md.
+ones recorded in EXPERIMENTS.md.  ``--jobs`` fans sweep-shaped experiments
+(those with a registered fan-out) across worker processes; the report is
+byte-identical for any job count.
+
+The experiment table lives in :mod:`repro.experiments.registry`; this
+module just iterates it in report order.
 """
 
 from __future__ import annotations
@@ -14,21 +20,11 @@ import argparse
 import sys
 import time
 
-from repro.experiments import (
-    fig02_motivation_delay,
-    fig03_iothread_sync,
-    fig09_vread_delay,
-    fig11_dfsio_throughput,
-    fig12_dfsio_cputime,
-    fig13_write_throughput,
-    table2_hbase,
-    table3_hive_sqoop,
-)
-from repro.experiments.cpu_breakdowns import run_fig06, run_fig07, run_fig08
+from repro.experiments import registry, runner
 
 
 def main(argv=None) -> int:
-    """Entry point: run the experiment and print the rendered result."""
+    """Entry point: run the report and print each rendered result."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller datasets (CI-sized)")
@@ -38,106 +34,34 @@ def main(argv=None) -> int:
                              "EXPERIMENTS.md)")
     parser.add_argument("--ablations", action="store_true",
                         help="also run the ablation/extension studies")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep fan-out "
+                             "(default: 1 = serial)")
+    parser.add_argument("--seed", type=int, default=0, metavar="S",
+                        help="root seed for seeded sweeps (default: 0)")
     args = parser.parse_args(argv)
     if args.quick and args.paper:
         parser.error("--quick and --paper are mutually exclusive")
+    profile = "paper" if args.paper else ("quick" if args.quick else
+                                          "default")
 
-    mb = (1 << 20)
-    if args.paper:
-        file_bytes = 1024 * mb
-        delay_bytes = 1024 * mb
-    else:
-        file_bytes = 8 * mb if args.quick else 32 * mb
-        delay_bytes = 8 * mb if args.quick else 16 * mb
-
-    stages = [
-        ("Fig 2", lambda: fig02_motivation_delay.run(file_bytes=delay_bytes)),
-        ("Fig 3", lambda: fig03_iothread_sync.run(
-            duration=0.1 if args.quick else 0.3)),
-        ("Fig 6", lambda: run_fig06(file_bytes=file_bytes)),
-        ("Fig 7", lambda: run_fig07(file_bytes=file_bytes)),
-        ("Fig 8", lambda: run_fig08(file_bytes=file_bytes)),
-        ("Fig 9", lambda: fig09_vread_delay.run(file_bytes=delay_bytes)),
-        ("Fig 11", lambda: fig11_dfsio_throughput.run(file_bytes=file_bytes)),
-        ("Fig 12", lambda: fig12_dfsio_cputime.run(file_bytes=file_bytes)),
-        ("Fig 13", lambda: fig13_write_throughput.run(file_bytes=file_bytes)),
-        ("Table 2", lambda: table2_hbase.run(
-            n_rows=8_192 if args.quick else 32_768)),
-        ("Table 3", lambda: table3_hive_sqoop.run(
-            n_rows=65_536 if args.quick else 262_144)),
-    ]
-    if args.ablations:
-        from repro.experiments import (
-            ablation_cache_size,
-            ablation_direct_read,
-            ablation_packet_size,
-            ablation_ring,
-            ablation_transport,
-            scale_clients,
-        )
-        stages += [
-            ("Ablation: direct read (§6)",
-             lambda: ablation_direct_read.run(file_bytes=file_bytes)),
-            ("Ablation: transport",
-             lambda: ablation_transport.run(file_bytes=file_bytes)),
-            ("Ablation: ring geometry",
-             lambda: ablation_ring.run(file_bytes=file_bytes)),
-            ("Ablation: packet size",
-             lambda: ablation_packet_size.run(file_bytes=file_bytes)),
-            ("Ablation: cache size",
-             lambda: ablation_cache_size.run(file_bytes=file_bytes)),
-            ("Extension: client scale-out",
-             lambda: scale_clients.run(
-                 file_bytes=4 * mb if args.quick else 16 * mb)),
-        ]
+    groups = ("paper", "ablation", "extension") if args.ablations \
+        else ("paper",)
     # Legitimate wall-clock use: this times how long the *experiment runner*
     # takes on the host machine (reported as "wall time"), not anything
     # inside the simulation — simulated time comes only from Simulator.now.
-    for name, runner in stages:
+    for spec in registry.specs(groups):
         started = time.time()  # simlint: disable=no-wallclock
-        result = runner()
+        result = runner.run_experiment(spec.name, profile=profile,
+                                       jobs=args.jobs, seed=args.seed)
         elapsed = time.time() - started  # simlint: disable=no-wallclock
-        print(f"\n{'=' * 72}\n{name}  (wall time {elapsed:.1f}s)\n{'=' * 72}")
+        print(f"\n{'=' * 72}\n{spec.figure}  (wall time {elapsed:.1f}s)\n"
+              f"{'=' * 72}")
         print(result.render())
-        _print_headlines(name, result)
+        if spec.headline is not None:
+            for line in spec.headline(result):
+                print(f"  {line}")
     return 0
-
-
-def _print_headlines(name: str, result) -> None:
-    if name == "Fig 6":
-        print(f"  -> client CPU saving {result.client_saving_pct():.1f}% "
-              f"(paper ~40%), datanode-side "
-              f"{result.serving_saving_pct():.1f}% (paper ~65%)")
-    elif name == "Fig 7":
-        print(f"  -> client CPU saving {result.client_saving_pct():.1f}% "
-              f"(paper ~45%), datanode-side "
-              f"{result.serving_saving_pct():.1f}% (paper >50%)")
-    elif name == "Fig 8":
-        print(f"  -> client CPU saving {result.client_saving_pct():.1f}%, "
-              f"datanode-side {result.serving_saving_pct():.1f}% "
-              f"(paper: totals still below vanilla)")
-    elif name == "Fig 9":
-        for vms, paper in (("2vms", 40), ("4vms", 50)):
-            best = max(result.reduction_pct(vms, cached, size)
-                       for cached in (False, True)
-                       for size in result.no_cache.x_values)
-            print(f"  -> max delay reduction {vms}: {best:.1f}% "
-                  f"(paper: up to {paper}%)")
-    elif name == "Fig 11":
-        print(f"  -> co-located read improvement: "
-              f"{result.improvement_pct('colocated', 'read', '3.2GHz', 2):.1f}% "
-              f"@3.2GHz (paper ~20%), "
-              f"{result.improvement_pct('colocated', 'read', '1.6GHz', 2):.1f}% "
-              f"@1.6GHz (paper ~41%)")
-        print(f"  -> best re-read improvement: "
-              f"{max(result.improvement_pct(s, 'reread', f, v) for s in ('colocated', 'remote', 'hybrid') for f in ('1.6GHz', '2.0GHz', '3.2GHz') for v in (2, 4)):.1f}% "
-              f"(paper: up to 150%)")
-    elif name == "Fig 12":
-        print(f"  -> co-located read CPU saving @2.0GHz 2vms: "
-              f"{result.cpu_saving_pct('colocated', 'read', '2.0GHz', 2):.1f}%")
-    elif name == "Table 3":
-        print(f"  -> Hive -{result.hive_reduction_pct:.1f}% (paper -21.3%), "
-              f"Sqoop -{result.sqoop_reduction_pct:.1f}% (paper -11.3%)")
 
 
 if __name__ == "__main__":

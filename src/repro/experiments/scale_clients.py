@@ -11,10 +11,10 @@ diverge with client count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import FigureResult
+from repro.experiments.common import FigureResult, warn_deprecated_main
 from repro.sim import AllOf
 from repro.storage.content import PatternSource
 
@@ -55,13 +55,14 @@ def _measure(vread: bool, n_clients: int, file_bytes: int) -> float:
     return n_clients * file_bytes / 1e6 / elapsed
 
 
-def run(client_counts: Sequence[int] = (1, 2, 4),
-        file_bytes: int = 16 << 20) -> FigureResult:
-    """Run the experiment; see the module docstring for the setup."""
-    series: Dict[str, List[float]] = {"vanilla": [], "vRead": []}
-    for n_clients in client_counts:
-        series["vanilla"].append(_measure(False, n_clients, file_bytes))
-        series["vRead"].append(_measure(True, n_clients, file_bytes))
+def assemble(values: Dict[Tuple[str, int], float],
+             client_counts: Sequence[int] = (1, 2, 4),
+             file_bytes: int = 16 << 20) -> FigureResult:
+    """Build the figure from measured ``(mode, n_clients) -> MB/s`` values."""
+    series: Dict[str, List[float]] = {
+        "vanilla": [values[("vanilla", n)] for n in client_counts],
+        "vRead": [values[("vRead", n)] for n in client_counts],
+    }
     return FigureResult(
         figure="Extension (scale-out)",
         title="Aggregate warm-read throughput vs co-located client count",
@@ -73,8 +74,18 @@ def run(client_counts: Sequence[int] = (1, 2, 4),
     )
 
 
+def run(client_counts: Sequence[int] = (1, 2, 4),
+        file_bytes: int = 16 << 20) -> FigureResult:
+    """Run the experiment; see the module docstring for the setup."""
+    values = {(mode, n): _measure(mode == "vRead", n, file_bytes)
+              for n in client_counts for mode in ("vanilla", "vRead")}
+    return assemble(values, client_counts=client_counts,
+                    file_bytes=file_bytes)
+
+
 def main() -> None:
-    """Entry point: run the experiment and print the rendered result."""
+    """Deprecated entry point; use ``python -m repro run scale-clients``."""
+    warn_deprecated_main("scale_clients", "scale-clients")
     result = run()
     print(result.render())
     for i, n_clients in enumerate(result.x_values):

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import load_dataset
+from repro.experiments.common import load_dataset, warn_deprecated_main
 from repro.hostmodel.costs import CostModel
 from repro.metrics.report import Table
 from repro.storage.content import PatternSource
@@ -102,7 +102,8 @@ def run(knobs: Sequence[str] = DEFAULT_KNOBS,
 
 
 def main() -> None:
-    """Entry point: run the experiment and print the rendered result."""
+    """Deprecated entry point; use ``python -m repro run sensitivity``."""
+    warn_deprecated_main("sensitivity", "sensitivity")
     result = run()
     print(result.render())
     print(f"\n  improvement positive under every perturbation: "

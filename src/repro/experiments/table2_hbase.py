@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from repro.experiments.common import warn_deprecated_main
 from repro.cluster import VirtualHadoopCluster
 from repro.experiments import paper_data
 from repro.hostmodel.frequency import GHZ_2_0
@@ -88,7 +89,8 @@ def run(n_rows: int = 32_768, row_bytes: int = 1024,
 
 
 def main() -> None:
-    """Entry point: run the experiment and print the rendered result."""
+    """Deprecated entry point; use ``python -m repro run table2``."""
+    warn_deprecated_main("table2_hbase", "table2")
     print(run().render())
 
 

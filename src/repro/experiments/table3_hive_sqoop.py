@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro.experiments.common import warn_deprecated_main
 from repro.cluster import VirtualHadoopCluster
 from repro.experiments import paper_data
 from repro.hostmodel.frequency import GHZ_2_0
@@ -121,7 +122,8 @@ def run(n_rows: int = 262_144, row_bytes: int = 128,
 
 
 def main() -> None:
-    """Entry point: run the experiment and print the rendered result."""
+    """Deprecated entry point; use ``python -m repro run table3``."""
+    warn_deprecated_main("table3_hive_sqoop", "table3")
     print(run().render())
 
 

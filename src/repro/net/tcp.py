@@ -41,6 +41,8 @@ def payload_size(payload: Any, explicit: Optional[int] = None) -> int:
         return payload.size
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
+    if isinstance(payload, memoryview):
+        return payload.nbytes
     #: Control/protocol objects default to a small header-sized message.
     return 128
 

@@ -9,6 +9,7 @@ have run).  Processes suspend on events by ``yield``-ing them.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, List, Optional
 
 #: Sentinel for "this event has no value yet".
@@ -103,8 +104,17 @@ class Event:
             raise self._already_triggered_error()
         self._ok = True
         self._value = value
-        self._note_trigger()
-        self.sim._enqueue(delay, self)
+        # Inlined _note_trigger + Simulator._enqueue: succeed() fires for
+        # every message/grant/completion, so these two calls dominate the
+        # kernel's per-event overhead.
+        sim = self.sim
+        sanitizer = getattr(sim, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.note_trigger(self)
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        sim._seq += 1
+        heappush(sim._heap, (sim._now + delay, sim._seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -152,12 +162,22 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):  # noqa: F821
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
+        # Fully inlined Event.__init__ + _note_trigger + _enqueue: timeouts
+        # are minted for every CPU slice and wire transfer, making this the
+        # hottest constructor in the simulator.
+        self.sim = sim
+        self.callbacks = []
         self._ok = True
         self._value = value
-        self._note_trigger()
-        sim._enqueue(delay, self)
+        self._defused = False
+        self._cancelled = False
+        self._strace = None
+        self.delay = delay
+        sanitizer = getattr(sim, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.note_trigger(self)
+        sim._seq += 1
+        heappush(sim._heap, (sim._now + delay, sim._seq, self))
 
     def cancel(self) -> None:
         """Withdraw the timeout before it fires.

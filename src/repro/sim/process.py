@@ -20,7 +20,7 @@ from repro.sim.events import Event, Interrupt, SimulationError, Timeout
 class Process(Event):
     """An event-yielding coroutine driven by the simulator."""
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_target", "name")
 
     def __init__(self, sim: "Simulator", generator: Generator):  # noqa: F821
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -28,6 +28,9 @@ class Process(Event):
                 f"process body must be a generator, got {generator!r}")
         super().__init__(sim)
         self._generator = generator
+        # Bound-method caches: _resume runs once per yield, per process.
+        self._send = generator.send
+        self._throw = generator.throw
         #: The event this process is currently waiting on (None if running).
         self._target: Optional[Event] = None
         self.name = getattr(generator, "__name__", type(generator).__name__)
@@ -64,58 +67,60 @@ class Process(Event):
         """Advance the generator with ``event``'s outcome."""
         # If we were interrupted while waiting on another event, detach from
         # it so a later firing does not resume us twice.
-        if self._target is not None and self._target.callbacks is not None:
+        sim = self.sim
+        target = self._target
+        if target is not None and target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume)
             except ValueError:
                 pass
             # A timer nobody listens to anymore only stretches the drain
             # horizon; withdraw it from the heap.
-            if isinstance(self._target, Timeout) and not self._target.callbacks:
-                self._target.cancel()
+            if isinstance(target, Timeout) and not target.callbacks:
+                target.cancel()
         self._target = None
 
-        self.sim._active_process = self
+        sim._active_process = self
         try:
             if event._ok:
-                result = self._generator.send(event._value)
+                result = self._send(event._value)
             else:
                 event.defuse()
-                result = self._generator.throw(event._value)
+                result = self._throw(event._value)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.sim._active_process = None
+            sim._active_process = None
             self.fail(exc)
             return
-        self.sim._active_process = None
+        sim._active_process = None
 
         if not isinstance(result, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded non-event {result!r}")
-        if result.sim is not self.sim:
+        if result.sim is not sim:
             raise SimulationError(
                 f"process {self.name!r} yielded an event from another simulator")
         if result._cancelled:
             raise SimulationError(
                 f"process {self.name!r} yielded a cancelled timer {result!r}; "
                 f"it would never fire")
-        self._target = result
-        if result.processed:
+        if result.callbacks is not None:
+            result.callbacks.append(self._resume)
+            self._target = result
+        else:
             # Already fired: resume immediately (at the current instant) so
             # yielding a processed event behaves like a zero-delay wait.
-            relay = Event(self.sim)
+            relay = Event(sim)
             relay._ok = result._ok
             relay._value = result._value
             if not result._ok:
                 relay.defuse()
             relay.callbacks.append(self._resume)
-            self.sim._enqueue(0.0, relay)
+            sim._enqueue(0.0, relay)
             self._target = relay
-        else:
-            result.callbacks.append(self._resume)
 
     def __repr__(self) -> str:
         state = "finished" if self.triggered else "alive"

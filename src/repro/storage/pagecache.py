@@ -28,6 +28,9 @@ class PageCache:
         self.name = name
         self.capacity_pages = (float("inf") if capacity_bytes == float("inf")
                                else max(1, int(capacity_bytes // PAGE_SIZE)))
+        #: Unbounded caches never evict, so their LRU order is unobservable —
+        #: the hot paths below skip recency bookkeeping entirely for them.
+        self._bounded = self.capacity_pages != float("inf")
         self._pages: "OrderedDict[Tuple[Hashable, int], None]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -57,14 +60,26 @@ class PageCache:
 
         Also counts hits/misses and refreshes LRU position of resident pages.
         """
+        span = self.page_span(offset, length)
+        pages = self._pages
+        if not pages:
+            self.misses += len(span)
+            return len(span) * PAGE_SIZE
         missing_pages = 0
-        for page in self.page_span(offset, length):
-            if (key, page) in self._pages:
-                self._pages.move_to_end((key, page))
-                self.hits += 1
-            else:
-                missing_pages += 1
-                self.misses += 1
+        if self._bounded:
+            move_to_end = pages.move_to_end
+            for page in span:
+                entry = (key, page)
+                if entry in pages:
+                    move_to_end(entry)
+                else:
+                    missing_pages += 1
+        else:
+            for page in span:
+                if (key, page) not in pages:
+                    missing_pages += 1
+        self.hits += len(span) - missing_pages
+        self.misses += missing_pages
         return missing_pages * PAGE_SIZE
 
     def contains(self, key: Hashable, offset: int, length: int) -> bool:
@@ -74,14 +89,24 @@ class PageCache:
 
     def insert(self, key: Hashable, offset: int, length: int) -> None:
         """Mark the pages of the range resident, evicting LRU pages if needed."""
+        pages = self._pages
+        if not self._bounded:
+            # Never evicts: plain dict insertion is enough (an existing key
+            # keeps its slot, which is unobservable without evictions).
+            for page in self.page_span(offset, length):
+                pages[(key, page)] = None
+            return
+        capacity = self.capacity_pages
+        move_to_end = pages.move_to_end
+        popitem = pages.popitem
         for page in self.page_span(offset, length):
             entry = (key, page)
-            if entry in self._pages:
-                self._pages.move_to_end(entry)
+            if entry in pages:
+                move_to_end(entry)
             else:
-                self._pages[entry] = None
-                if len(self._pages) > self.capacity_pages:
-                    self._pages.popitem(last=False)
+                pages[entry] = None
+                if len(pages) > capacity:
+                    popitem(last=False)
                     self.evictions += 1
 
     def invalidate(self, key: Hashable) -> int:

@@ -84,7 +84,9 @@ class SharedRing:
                 f"{self.slots} — chunk it")
         yield from self._wait_unstalled()
         yield self._free_slots.get(needed)
-        self.max_occupancy = max(self.max_occupancy, self.occupied_slots)
+        occupied = self.slots - int(self._free_slots.level)
+        if occupied > self.max_occupancy:
+            self.max_occupancy = occupied
         yield self._messages.put((payload, nbytes, needed))
 
     def get(self):

@@ -95,3 +95,10 @@ def test_view_thread_name_lists():
 
 def test_pct_improvement():
     assert pct_improvement(100.0, 150.0) == pytest.approx(50.0)
+
+
+def test_pct_improvement_rejects_zero_baseline():
+    with pytest.raises(ValueError, match="near zero"):
+        pct_improvement(0.0, 10.0)
+    with pytest.raises(ValueError, match="near zero"):
+        pct_improvement(1e-15, 10.0)

@@ -1,6 +1,6 @@
 """Tests for figure-to-CSV export."""
 
-from repro.experiments.common import FigureResult
+from repro.experiments.common import BreakdownResult, FigureResult
 
 
 def test_to_csv_header_and_rows():
@@ -21,3 +21,21 @@ def test_to_csv_roundtrips_values():
     csv = figure.to_csv()
     value = float(csv.splitlines()[1].split(",")[1])
     assert value == 0.1234567890123  # repr() keeps full precision
+
+
+def test_to_csv_quotes_commas_per_rfc4180():
+    figure = FigureResult("F", "t", "freq", ['1.6GHz, turbo "boost"'],
+                          {"re-read, cached": [1.5], "plain": [2.0]})
+    lines = figure.to_csv().splitlines()
+    assert lines[0] == 'freq,"re-read, cached",plain'
+    assert lines[1] == '"1.6GHz, turbo ""boost""",1.5,2.0'
+
+
+def test_breakdown_to_csv_quotes_labels():
+    from repro.metrics.accounting import UtilizationBreakdown
+
+    result = BreakdownResult(
+        "F", "t", {'vRead, warm': UtilizationBreakdown({"user": 0.5}, 1.0,
+                                                       cores=1)})
+    lines = result.to_csv().splitlines()
+    assert lines[1].startswith('"vRead, warm",')
