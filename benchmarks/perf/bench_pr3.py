@@ -7,6 +7,8 @@ RSS high-water mark):
   vs ``--jobs 4`` (plus a byte-identity check between the two);
 * the chaos scenario (seeded fault storms) at ``--jobs 1`` vs ``--jobs 4``
   (same byte-identity check);
+* the multi-rack scale-out sweep (``scale-racks``) at ``--jobs 1`` vs
+  ``--jobs 4`` (same byte-identity check);
 * a 64-client scale run and a single 64 MB verified block read, each in
   the legacy bytes plane vs the zero-copy buffer plane
   (``REPRO_LEGACY_BUFFERS`` toggle).
@@ -165,6 +167,7 @@ def main(argv=None) -> int:
     print(f"parallel fan-out (profile={profile}):")
     bench_sweep("fig11", profile, out, failures)
     bench_sweep("chaos-sweep", profile, out, failures)
+    bench_sweep("scale-racks", profile, out, failures)
 
     print("zero-copy data plane:")
     bench_plane("block_read", _run_block_read, out,

@@ -8,11 +8,13 @@ here, decorated with :func:`repro.analysis.core.register`.
 from repro.analysis.core import create_rules
 from repro.analysis.rules.randomness import NoGlobalRandomRule
 from repro.analysis.rules.resource_leak import ResourceLeakRule
+from repro.analysis.rules.topology_literals import NoTopologyLiteralsRule
 from repro.analysis.rules.wallclock import NoWallclockRule
 from repro.analysis.rules.yields import YieldDisciplineRule
 
 __all__ = [
     "NoGlobalRandomRule",
+    "NoTopologyLiteralsRule",
     "NoWallclockRule",
     "ResourceLeakRule",
     "YieldDisciplineRule",

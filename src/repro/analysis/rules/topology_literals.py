@@ -1,0 +1,70 @@
+"""Rule ``no-topology-literals``: ban hard-coded host/VM name strings.
+
+Cluster layout is declarative (:mod:`repro.cluster.topology`); code that
+bakes in ``"host1"`` or ``"datanode2"`` silently breaks on any other
+topology — exactly the coupling the fault-targeting bug class came from.
+Targets should be resolved through the topology (host specs, datanode
+ids, ``cluster.host_named(...)``) instead.  The topology presets
+themselves are the one legitimate place such names exist, so the module
+is allowlisted by default; tests may pin concrete layouts freely (the
+codebase gate only lints ``src/``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from fnmatch import fnmatch
+from typing import Iterator, Sequence, Set
+
+from repro.analysis.core import LintContext, Rule, Violation, register
+
+#: Literals that name a concrete host or datanode VM of some layout.
+TOPOLOGY_NAME = re.compile(r"^(host|datanode)\d+$")
+
+#: Paths where layout names are the point, not a coupling bug.
+DEFAULT_ALLOW = ("*/cluster/topology.py",)
+
+
+def _docstring_nodes(tree: ast.Module) -> Set[int]:
+    """ids of the Constant nodes that are module/class/function docstrings."""
+    out: Set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+            continue
+        body = node.body
+        if (body and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)):
+            out.add(id(body[0].value))
+    return out
+
+
+@register
+class NoTopologyLiteralsRule(Rule):
+    name = "no-topology-literals"
+    description = ("bans literal \"host<N>\"/\"datanode<N>\" strings "
+                   "outside the topology presets; resolve targets from "
+                   "the cluster topology instead")
+
+    def __init__(self, allow: Sequence[str] = DEFAULT_ALLOW):
+        #: Glob patterns of file paths exempt from this rule.
+        self.allow = tuple(allow)
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        if any(fnmatch(ctx.path, pattern) for pattern in self.allow):
+            return
+        docstrings = _docstring_nodes(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and TOPOLOGY_NAME.match(node.value)
+                    and id(node) not in docstrings):
+                yield self.violation(
+                    ctx, node,
+                    f"hard-coded topology name {node.value!r} couples this "
+                    f"code to one cluster layout; resolve the target from "
+                    f"the topology (datanode ids, cluster.host_named, "
+                    f"TopologySpec queries) or declare it in a "
+                    f"cluster/topology.py preset")

@@ -1,12 +1,36 @@
 """Cluster construction: declarative testbeds matching the paper's setups.
 
-:class:`~repro.cluster.builder.VirtualHadoopCluster` builds the paper's
-Figure 10 topology (and variants): physical hosts on a 10 GbE/RoCE LAN,
-a client+namenode VM and a co-located datanode VM on host 1, a second
-datanode VM on host 2, optional lookbusy background VMs, and — when
-enabled — vRead installed across the cluster.
+:class:`~repro.cluster.topology.TopologySpec` describes a layout (racks
+of hosts, VMs with roles) and
+:class:`~repro.cluster.builder.VirtualHadoopCluster` interprets it into a
+live simulated deployment: physical hosts on a 10 GbE/RoCE fabric with
+rack-aware switching, a client+namenode VM and a co-located datanode VM
+on host 1, further datanode VMs elsewhere, optional lookbusy background
+VMs, and — when enabled — vRead installed across the cluster.  The
+default spec is the paper's Figure 10 testbed
+(:func:`~repro.cluster.topology.paper_fig10`); multi-rack layouts come
+from :func:`~repro.cluster.topology.rack_cluster`.
 """
 
 from repro.cluster.builder import ClusterConfig, VirtualHadoopCluster
+from repro.cluster.topology import (
+    HostSpec,
+    RackSpec,
+    TopologyError,
+    TopologySpec,
+    VmSpec,
+    paper_fig10,
+    rack_cluster,
+)
 
-__all__ = ["ClusterConfig", "VirtualHadoopCluster"]
+__all__ = [
+    "ClusterConfig",
+    "HostSpec",
+    "RackSpec",
+    "TopologyError",
+    "TopologySpec",
+    "VirtualHadoopCluster",
+    "VmSpec",
+    "paper_fig10",
+    "rack_cluster",
+]

@@ -1,13 +1,20 @@
-"""Build simulated virtual Hadoop clusters (the paper's Figure 10).
+"""Build simulated virtual Hadoop clusters from declarative topologies.
 
-Default topology::
+The builder is a thin interpreter over a
+:class:`~repro.cluster.topology.TopologySpec`: racks become switch
+domains on the LAN fabric, hosts become :class:`PhysicalHost` instances,
+and VM specs become client / datanode / lookbusy / auxiliary VMs wired
+to the HDFS services.  The default spec is the paper's Figure 10
+testbed (:func:`~repro.cluster.topology.paper_fig10`)::
 
     Host1: VM1 client+namenode | VM2 datanode1 | [VM3, VM4: lookbusy 85%]
     Host2: VM1 datanode2       | [VM2..VM4: lookbusy 85%]
 
 ``total_vms_per_host=2`` gives the paper's "2vms" scenarios (no background
 load); ``total_vms_per_host=4`` gives the "4vms" scenarios where vCPU and
-I/O threads contend for the quad-core hosts.
+I/O threads contend for the quad-core hosts.  Multi-rack layouts come
+from :func:`~repro.cluster.topology.rack_cluster` or a hand-built spec
+passed as ``ClusterConfig(topology=...)``.
 """
 
 from __future__ import annotations
@@ -15,8 +22,9 @@ from __future__ import annotations
 import difflib
 import warnings
 from dataclasses import dataclass, fields as dataclass_fields
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
+from repro.cluster.topology import TopologySpec, paper_fig10
 from repro.core import VReadManager
 from repro.core.integration import VReadDfsClient
 from repro.faults import FaultInjector, FaultPlan
@@ -39,15 +47,17 @@ from repro.workloads.lookbusy import Lookbusy
 class ClusterConfig:
     """Knobs for a :class:`VirtualHadoopCluster`."""
 
-    #: Physical hosts (>=2 for the remote/hybrid scenarios).
+    #: Physical hosts (>=2 for the remote/hybrid scenarios).  Layout knob:
+    #: only consulted when ``topology`` is left None.
     n_hosts: int = 2
-    #: Hosts carrying a datanode VM (host1..hostN); None = every host.
+    #: Hosts carrying a datanode VM (host 1..N); None = every host.
     #: Extra hosts stay empty for auxiliary services (e.g. the MySQL box in
-    #: the Sqoop experiment).
+    #: the Sqoop experiment).  Layout knob (see ``n_hosts``).
     n_datanodes: Optional[int] = None
     cores_per_host: int = 4
     frequency_hz: float = GHZ_2_0
     #: Total VMs per host including client/datanodes ("2vms" vs "4vms").
+    #: Layout knob (see ``n_hosts``).
     total_vms_per_host: int = 2
     lookbusy_utilization: float = 0.85
     #: HDFS block size (paper default 64 MB; shrink for quick runs).
@@ -71,6 +81,11 @@ class ClusterConfig:
     seed: int = 0
     #: Fault schedule, executed once ``cluster.faults.arm()`` is called.
     faults: Optional[FaultPlan] = None
+    #: Declarative cluster layout.  None (the default) builds the paper's
+    #: Figure 10 testbed from the legacy layout knobs above; pass a
+    #: :func:`~repro.cluster.topology.rack_cluster` or hand-built spec for
+    #: anything else.  Mutually exclusive with the layout knobs.
+    topology: Optional[TopologySpec] = None
 
     @classmethod
     def from_kwargs(cls, **kwargs) -> "ClusterConfig":
@@ -94,14 +109,20 @@ class ClusterConfig:
         return cls(**kwargs)
 
     def __post_init__(self):
-        if self.n_hosts < 2:
-            raise ValueError("need at least 2 hosts (client + remote datanode)")
-        if self.total_vms_per_host < 2:
-            raise ValueError("need at least 2 VMs on host1 (client + datanode)")
-        if self.n_datanodes is not None and not (
-                2 <= self.n_datanodes <= self.n_hosts):
-            raise ValueError(
-                f"n_datanodes must be in [2, n_hosts]: {self.n_datanodes}")
+        # All layout validation lives in the topology presets: the legacy
+        # knobs are just shorthand for the paper_fig10 spec, so mixing them
+        # with an explicit spec would be ambiguous.
+        if self.topology is not None:
+            if (self.n_hosts != 2 or self.n_datanodes is not None
+                    or self.total_vms_per_host != 2):
+                raise ValueError(
+                    "pass either topology=... or the legacy layout knobs "
+                    "(n_hosts / n_datanodes / total_vms_per_host), not both")
+            self.topology.validate()
+        else:
+            self.topology = paper_fig10(
+                n_hosts=self.n_hosts, n_datanodes=self.n_datanodes,
+                total_vms_per_host=self.total_vms_per_host)
 
 
 class ClusterClients:
@@ -162,7 +183,7 @@ class ClusterClients:
 
 
 class VirtualHadoopCluster:
-    """A ready-to-use simulated deployment."""
+    """A ready-to-use simulated deployment, interpreted from a spec."""
 
     def __init__(self, config: Optional[ClusterConfig] = None, **overrides):
         if config is None:
@@ -170,6 +191,8 @@ class VirtualHadoopCluster:
         elif overrides:
             raise ValueError("pass either a config or keyword overrides")
         self.config = config
+        #: The declarative layout this cluster was interpreted from.
+        self.topology: TopologySpec = config.topology
         self.costs = config.costs or CostModel()
         self.sim = Simulator()
         #: Named deterministic random streams, all derived from config.seed.
@@ -177,26 +200,37 @@ class VirtualHadoopCluster:
         self.tracer = Tracer()
         self.fault_counters = FaultCounters(
             self.tracer, clock=lambda: self.sim.now)
-        self.lan = Lan(self.sim, self.costs)
+        self.lan = Lan(self.sim, self.costs,
+                       oversubscription=self.topology.oversubscription)
         self.network = VmNetwork(self.sim, self.lan, self.costs)
         self.rdma = RdmaLink(self.sim, self.lan, self.costs)
 
+        # --- physical layer: hosts attach to the fabric rack by rack.
         self.hosts: List[PhysicalHost] = []
-        for i in range(config.n_hosts):
-            host = PhysicalHost(self.sim, f"host{i + 1}",
-                                cores=config.cores_per_host,
-                                frequency_hz=config.frequency_hz,
-                                costs=self.costs)
-            self.lan.attach(host)
-            self.hosts.append(host)
+        self._hosts_by_name: Dict[str, PhysicalHost] = {}
+        for rack in self.topology.racks:
+            for host_spec in rack.hosts:
+                host = PhysicalHost(self.sim, host_spec.name,
+                                    cores=config.cores_per_host,
+                                    frequency_hz=config.frequency_hz,
+                                    costs=self.costs)
+                self.lan.attach(host, rack=rack.name)
+                self.hosts.append(host)
+                self._hosts_by_name[host_spec.name] = host
 
-        # --- paper topology: client+NN and dn1 on host1, dn2.. elsewhere.
-        self.client_vm = VirtualMachine(self.hosts[0], "client")
-        n_datanodes = config.n_datanodes or config.n_hosts
+        # --- VM layer, role by role.  The phase order (clients, datanodes,
+        # HDFS services, aux, background) fixes the event-creation order and
+        # therefore byte-identical timelines for the default spec.
+        self.client_vms: List[VirtualMachine] = [
+            self._place(host_spec, vm_spec)
+            for _, host_spec, vm_spec in self.topology.placements("client")]
+        #: The primary client VM; also hosts the namenode (paper layout).
+        self.client_vm = self.client_vms[0]
+
+        datanode_placements = self.topology.placements("datanode")
         self.datanode_vms: List[VirtualMachine] = [
-            VirtualMachine(self.hosts[0], "datanode1")]
-        for i, host in enumerate(self.hosts[1:n_datanodes], start=2):
-            self.datanode_vms.append(VirtualMachine(host, f"datanode{i}"))
+            self._place(host_spec, vm_spec)
+            for _, host_spec, vm_spec in datanode_placements]
 
         hdfs_kwargs = {"block_size": config.block_size,
                        "replication": config.replication}
@@ -204,28 +238,24 @@ class VirtualHadoopCluster:
             hdfs_kwargs["packet_bytes"] = config.packet_bytes
         self.hdfs_config = HdfsConfig(**hdfs_kwargs)
         self.namenode = Namenode(self.hdfs_config, vm=self.client_vm)
+        # Placement decisions show up in the trace as placement.* events.
+        self.namenode.policy.counters = self.fault_counters
         self.datanodes: List[Datanode] = [
-            Datanode(f"dn{i + 1}", vm, self.namenode, self.network)
-            for i, vm in enumerate(self.datanode_vms)]
+            Datanode(vm_spec.datanode_id, vm, self.namenode, self.network)
+            for (_, _, vm_spec), vm in zip(datanode_placements,
+                                           self.datanode_vms)]
 
-        # --- background lookbusy VMs.  The paper's "2vms" scenario has no
-        # background load at all; with more VMs per host, every host is
-        # filled to the total with 85% lookbusy hogs (host2 gets 3 in the
-        # "4vms" case, exactly as Figure 10 shows).
+        self.aux_vms: List[VirtualMachine] = [
+            self._place(host_spec, vm_spec)
+            for _, host_spec, vm_spec in self.topology.placements("aux")]
+
+        # --- background lookbusy VMs (the paper's "4vms" contention).
         self.lookbusy: List[Lookbusy] = []
         self.background_vms: List[VirtualMachine] = []
-        for host in self.hosts:
-            occupied = len(host.vms)
-            # Only hosts running cluster VMs receive background load;
-            # auxiliary hosts (e.g. a MySQL box) are left alone.
-            fill_to = (config.total_vms_per_host
-                       if config.total_vms_per_host > 2 and occupied > 0
-                       else occupied)
-            for j in range(fill_to - occupied):
-                vm = VirtualMachine(host, f"{host.name}-bg{j + 1}")
-                self.background_vms.append(vm)
-                self.lookbusy.append(
-                    Lookbusy(vm, config.lookbusy_utilization))
+        for _, host_spec, vm_spec in self.topology.placements("background"):
+            vm = self._place(host_spec, vm_spec)
+            self.background_vms.append(vm)
+            self.lookbusy.append(Lookbusy(vm, config.lookbusy_utilization))
 
         # --- vRead deployment.
         self.vread_manager: Optional[VReadManager] = None
@@ -251,6 +281,28 @@ class VirtualHadoopCluster:
         #: ``cluster.faults.arm()`` once the workload is about to start.
         self.faults = FaultInjector(self, config.faults, self.fault_counters)
 
+    def _place(self, host_spec, vm_spec) -> VirtualMachine:
+        return VirtualMachine(self._hosts_by_name[host_spec.name],
+                              vm_spec.name)
+
+    # --------------------------------------------------------------- topology
+    def host_named(self, name: str) -> PhysicalHost:
+        """The host called ``name`` (clear error listing valid names)."""
+        try:
+            return self._hosts_by_name[name]
+        except KeyError:
+            raise ValueError(f"no host named {name!r}; cluster has "
+                             f"{[h.name for h in self.hosts]}")
+
+    def host_of_datanode(self, datanode_id: str) -> PhysicalHost:
+        """The physical host carrying datanode ``datanode_id``."""
+        for datanode in self.datanodes:
+            if datanode.datanode_id == datanode_id:
+                return datanode.vm.host
+        raise ValueError(
+            f"no datanode {datanode_id!r}; cluster has "
+            f"{[d.datanode_id for d in self.datanodes]}")
+
     # ------------------------------------------------------------------ client
     def client(self) -> Union[DfsClient, VReadDfsClient]:
         """Deprecated alias for ``cluster.clients.get()``."""
@@ -268,8 +320,15 @@ class VirtualHadoopCluster:
 
     def add_client_vm(self, name: str,
                       host_index: int = 0) -> VirtualMachine:
-        """Add another client VM (scale-out experiments)."""
-        return VirtualMachine(self.hosts[host_index], name)
+        """Add another client VM after construction.
+
+        Prefer declaring clients in the topology (``paper_fig10(clients=N)``
+        or ``rack_cluster(..., clients=N)``); this remains for ad-hoc
+        scale-out from test code.
+        """
+        vm = VirtualMachine(self.hosts[host_index], name)
+        self.client_vms.append(vm)
+        return vm
 
     def client_for(self, vm: VirtualMachine):
         """Deprecated alias for ``cluster.clients.get(vm=vm)``."""
@@ -321,6 +380,7 @@ class VirtualHadoopCluster:
 
     def __repr__(self) -> str:
         mode = "vRead" if self.config.vread else "vanilla"
-        return (f"<VirtualHadoopCluster {mode} hosts={len(self.hosts)} "
-                f"vms/host={self.config.total_vms_per_host} "
+        counts = self.topology.counts()
+        return (f"<VirtualHadoopCluster {mode} racks={counts['racks']} "
+                f"hosts={counts['hosts']} "
                 f"freq={self.config.frequency_hz / 1e9:.1f}GHz>")

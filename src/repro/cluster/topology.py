@@ -1,0 +1,313 @@
+"""Declarative cluster topology: racks, hosts, VMs, and factory presets.
+
+A :class:`TopologySpec` describes *where everything runs* — racks of
+physical hosts, and the VMs placed on each host with a role:
+
+* ``client`` — runs an HDFS client (the first client VM also hosts the
+  namenode, as in the paper's testbed);
+* ``datanode`` — runs a datanode process (``datanode_id`` defaults to
+  ``dn1``, ``dn2``, ... in declaration order);
+* ``background`` — a lookbusy CPU hog (the paper's "4vms" contention);
+* ``aux`` — a plain VM for auxiliary services (e.g. the MySQL box in the
+  Sqoop experiment).
+
+The spec is pure data: building it touches no simulator state, so it can
+be constructed, validated, pickled to worker processes, and diffed in
+tests.  :class:`~repro.cluster.builder.VirtualHadoopCluster` interprets a
+spec into live hosts/VMs/services; the network layer uses the rack
+boundaries to model the fabric (per-host NIC -> top-of-rack switch ->
+oversubscribed aggregation uplink) and the HDFS placement policy uses
+them for rack-aware replica placement.
+
+Two factory presets cover the common cases:
+
+* :func:`paper_fig10` — the paper's Figure 10 testbed (the default a bare
+  ``VirtualHadoopCluster()`` builds): one rack, client + datanode1 on
+  host1, datanode2.. on the other hosts, optional lookbusy fill.
+* :func:`rack_cluster` — a scale-out layout: ``n_racks`` racks of
+  ``hosts_per_rack`` hosts, ``datanodes_per_host`` datanode VMs each, and
+  ``clients`` client VMs placed round-robin across hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Valid :attr:`VmSpec.role` values.
+ROLES = ("client", "datanode", "background", "aux")
+
+#: Default ToR->aggregation oversubscription ratio (a 4:1 leaf-spine
+#: fabric, the classic datacenter design point).
+DEFAULT_OVERSUBSCRIPTION = 4.0
+
+
+class TopologyError(ValueError):
+    """An inconsistent or unbuildable topology description."""
+
+
+@dataclass
+class VmSpec:
+    """One VM placement: a name, a role, and (for datanodes) an id."""
+
+    name: str
+    role: str = "aux"
+    #: Datanode id (``dn1``, ``dn2``, ...); auto-assigned in declaration
+    #: order by :meth:`TopologySpec.validate` when left ``None``.
+    datanode_id: Optional[str] = None
+
+    def __post_init__(self):
+        if self.role not in ROLES:
+            raise TopologyError(
+                f"unknown VM role {self.role!r} for {self.name!r}; "
+                f"expected one of {ROLES}")
+        if self.datanode_id is not None and self.role != "datanode":
+            raise TopologyError(
+                f"VM {self.name!r} has datanode_id={self.datanode_id!r} "
+                f"but role {self.role!r}; only datanode VMs carry ids")
+
+
+@dataclass
+class HostSpec:
+    """One physical host and the VMs placed on it."""
+
+    name: str
+    vms: List[VmSpec] = field(default_factory=list)
+
+    def add(self, vm: VmSpec) -> "HostSpec":
+        self.vms.append(vm)
+        return self
+
+
+@dataclass
+class RackSpec:
+    """One rack: a named top-of-rack switch and its hosts."""
+
+    name: str
+    hosts: List[HostSpec] = field(default_factory=list)
+
+
+@dataclass
+class TopologySpec:
+    """The whole cluster layout, validated and queryable.
+
+    ``oversubscription`` is the ToR->aggregation bandwidth ratio the
+    network fabric models for cross-rack traffic (irrelevant for
+    single-rack specs, where no traffic crosses the aggregation layer).
+    """
+
+    racks: List[RackSpec] = field(default_factory=list)
+    oversubscription: float = DEFAULT_OVERSUBSCRIPTION
+
+    def __post_init__(self):
+        self.validate()
+
+    # ------------------------------------------------------------- validation
+    def validate(self) -> "TopologySpec":
+        """Check structural invariants; assign default datanode ids.
+
+        Raises :class:`TopologyError` with a description of the first
+        inconsistency found.  Returns ``self`` for chaining.
+        """
+        if not self.racks:
+            raise TopologyError("topology has no racks")
+        if self.oversubscription < 1.0:
+            raise TopologyError(
+                f"oversubscription must be >= 1.0 (1.0 = non-blocking "
+                f"fabric): {self.oversubscription}")
+        rack_names, host_names, vm_names, dn_ids = set(), set(), set(), set()
+        n_clients = n_datanodes = 0
+        next_dn = 1
+        for rack in self.racks:
+            if rack.name in rack_names:
+                raise TopologyError(f"duplicate rack name {rack.name!r}")
+            rack_names.add(rack.name)
+            if not rack.hosts:
+                raise TopologyError(f"rack {rack.name!r} has no hosts")
+            for host in rack.hosts:
+                if host.name in host_names:
+                    raise TopologyError(
+                        f"duplicate host name {host.name!r}")
+                host_names.add(host.name)
+                for vm in host.vms:
+                    if vm.name in vm_names:
+                        raise TopologyError(
+                            f"duplicate VM name {vm.name!r}")
+                    vm_names.add(vm.name)
+                    if vm.role == "client":
+                        n_clients += 1
+                    elif vm.role == "datanode":
+                        n_datanodes += 1
+                        if vm.datanode_id is None:
+                            vm.datanode_id = f"dn{next_dn}"
+                        if vm.datanode_id in dn_ids:
+                            raise TopologyError(
+                                f"duplicate datanode id "
+                                f"{vm.datanode_id!r} ({vm.name!r})")
+                        dn_ids.add(vm.datanode_id)
+                        next_dn += 1
+        if n_clients == 0:
+            raise TopologyError(
+                "topology has no client VM; add a VmSpec(role='client')")
+        if n_datanodes == 0:
+            raise TopologyError(
+                "topology has no datanode VM; add a VmSpec(role='datanode')")
+        return self
+
+    # --------------------------------------------------------------- queries
+    def hosts(self) -> List[HostSpec]:
+        """All hosts in rack order."""
+        return [host for rack in self.racks for host in rack.hosts]
+
+    def placements(self, role: Optional[str] = None
+                   ) -> List[Tuple[RackSpec, HostSpec, VmSpec]]:
+        """``(rack, host, vm)`` triples in declaration order, by role."""
+        return [(rack, host, vm)
+                for rack in self.racks
+                for host in rack.hosts
+                for vm in host.vms
+                if role is None or vm.role == role]
+
+    def rack_of(self, host_name: str) -> str:
+        for rack in self.racks:
+            for host in rack.hosts:
+                if host.name == host_name:
+                    return rack.name
+        raise TopologyError(
+            f"no host named {host_name!r}; topology has "
+            f"{[h.name for h in self.hosts()]}")
+
+    def host_of_datanode(self, datanode_id: str) -> str:
+        for _, host, vm in self.placements("datanode"):
+            if vm.datanode_id == datanode_id:
+                return host.name
+        raise TopologyError(
+            f"no datanode {datanode_id!r}; topology has "
+            f"{[vm.datanode_id for _, _, vm in self.placements('datanode')]}")
+
+    def counts(self) -> Dict[str, int]:
+        """Summary counts: racks, hosts, and VMs per role."""
+        out = {"racks": len(self.racks), "hosts": len(self.hosts())}
+        for role in ROLES:
+            out[role] = len(self.placements(role))
+        return out
+
+    def describe(self) -> str:
+        """Human-readable layout, one line per host."""
+        lines = []
+        for rack in self.racks:
+            lines.append(f"{rack.name}:")
+            for host in rack.hosts:
+                vms = ", ".join(
+                    f"{vm.name}[{vm.datanode_id}]" if vm.datanode_id
+                    else f"{vm.name}({vm.role})" for vm in host.vms)
+                lines.append(f"  {host.name}: {vms or '(empty)'}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        c = self.counts()
+        return (f"<TopologySpec racks={c['racks']} hosts={c['hosts']} "
+                f"clients={c['client']} datanodes={c['datanode']}>")
+
+
+# ------------------------------------------------------------------- presets
+def paper_fig10(n_hosts: int = 2, n_datanodes: Optional[int] = None,
+                total_vms_per_host: int = 2,
+                clients: int = 1) -> TopologySpec:
+    """The paper's Figure 10 testbed as a declarative spec (the default).
+
+    One rack (a flat single-switch LAN).  Host 1 carries the client VM(s)
+    and ``datanode1``; hosts 2..``n_datanodes`` carry ``datanode2``.. and
+    any remaining hosts stay empty for auxiliary services.  With
+    ``total_vms_per_host > 2``, every host running cluster VMs is filled
+    to the total with lookbusy background VMs — exactly the "4vms"
+    contention scenario.
+
+    ``clients > 1`` adds ``client2``.. on host 1 (same-host scale-out, the
+    multi-client extension experiment).
+    """
+    if n_hosts < 2:
+        raise TopologyError(
+            f"need at least 2 hosts (client + remote datanode): {n_hosts}")
+    if total_vms_per_host < 2:
+        raise TopologyError(
+            f"need at least 2 VMs on host 1 (client + datanode): "
+            f"{total_vms_per_host}")
+    if clients < 1:
+        raise TopologyError(f"need at least 1 client VM: {clients}")
+    if n_datanodes is not None:
+        if n_datanodes < 2:
+            raise TopologyError(
+                f"n_datanodes must be >= 2 (a lone datanode cannot "
+                f"exercise the remote path): {n_datanodes}")
+        if n_datanodes > n_hosts:
+            raise TopologyError(
+                f"n_datanodes={n_datanodes} exceeds n_hosts={n_hosts}: "
+                f"each datanode after the first needs its own host")
+    n_datanodes = n_datanodes or n_hosts
+
+    hosts = [HostSpec(f"host{i + 1}") for i in range(n_hosts)]
+    hosts[0].add(VmSpec("client", "client"))
+    for i in range(1, clients):
+        hosts[0].add(VmSpec(f"client{i + 1}", "client"))
+    hosts[0].add(VmSpec("datanode1", "datanode"))
+    for i in range(2, n_datanodes + 1):
+        hosts[i - 1].add(VmSpec(f"datanode{i}", "datanode"))
+    # Background fill: only hosts already running cluster VMs get hogs.
+    if total_vms_per_host > 2:
+        for host in hosts:
+            occupied = len(host.vms)
+            if occupied == 0:
+                continue
+            for j in range(total_vms_per_host - occupied):
+                host.add(VmSpec(f"{host.name}-bg{j + 1}", "background"))
+    return TopologySpec(racks=[RackSpec("rack1", hosts)])
+
+
+def rack_cluster(n_racks: int, hosts_per_rack: int,
+                 datanodes_per_host: int = 1, clients: int = 1,
+                 oversubscription: float = DEFAULT_OVERSUBSCRIPTION
+                 ) -> TopologySpec:
+    """A multi-rack scale-out layout.
+
+    Racks ``rack1``..``rackN`` each hold ``hosts_per_rack`` hosts (named
+    ``host1``.. sequentially across racks), every host runs
+    ``datanodes_per_host`` datanode VMs, and ``clients`` client VMs are
+    placed round-robin across all hosts starting at host 1 — so the first
+    client is co-located with ``datanode1``, matching the paper's layout
+    in the degenerate ``n_racks=1, hosts_per_rack=2`` case.
+    """
+    if n_racks < 1:
+        raise TopologyError(f"need at least 1 rack: {n_racks}")
+    if hosts_per_rack < 1:
+        raise TopologyError(f"need at least 1 host per rack: {hosts_per_rack}")
+    if n_racks * hosts_per_rack < 2:
+        raise TopologyError(
+            "need at least 2 hosts in total (client + remote datanode): "
+            f"{n_racks} rack(s) x {hosts_per_rack} host(s)")
+    if datanodes_per_host < 1:
+        raise TopologyError(
+            f"need at least 1 datanode per host: {datanodes_per_host}")
+    if clients < 1:
+        raise TopologyError(f"need at least 1 client VM: {clients}")
+
+    racks: List[RackSpec] = []
+    host_specs: List[HostSpec] = []
+    host_no = 1
+    for r in range(n_racks):
+        rack = RackSpec(f"rack{r + 1}")
+        for _ in range(hosts_per_rack):
+            host = HostSpec(f"host{host_no}")
+            host_no += 1
+            rack.hosts.append(host)
+            host_specs.append(host)
+        racks.append(rack)
+    for i in range(clients):
+        name = "client" if i == 0 else f"client{i + 1}"
+        host_specs[i % len(host_specs)].add(VmSpec(name, "client"))
+    dn_no = 1
+    for host in host_specs:
+        for _ in range(datanodes_per_host):
+            host.add(VmSpec(f"datanode{dn_no}", "datanode"))
+            dn_no += 1
+    return TopologySpec(racks=racks, oversubscription=oversubscription)

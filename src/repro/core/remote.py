@@ -30,6 +30,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.faults.retry import DeadlineExceeded, call_with_deadline
 from repro.metrics.accounting import VREAD_NET
+from repro.net.lan import CROSS_RACK, host_distance
 from repro.net.rdma import RdmaError
 from repro.sim import Lock, Store
 from repro.storage.disk import DiskError
@@ -124,6 +125,12 @@ class RdmaTransport(BaseTransport):
     repeats the request over an internal :class:`TcpTransport` so remote
     reads keep flowing — slower and CPU-heavier, exactly the trade the
     paper describes for the no-RDMA case.
+
+    The transport is picked per host pair from the fabric distance: RoCE
+    needs the lossless (PFC) switching domain of the rack, so same-rack
+    peers use verbs while cross-rack peers go straight to the TCP path —
+    no flap/deadline detour, just an explicit routing decision counted as
+    ``transport.cross-rack-tcp``.
     """
 
     def __init__(self, service, rdma_link):
@@ -131,8 +138,18 @@ class RdmaTransport(BaseTransport):
         self.rdma_link = rdma_link
         self._tcp_fallback = TcpTransport(service)
         self.tcp_fallbacks = 0
+        self.cross_rack_requests = 0
 
     def request(self, peer_service, request: RemoteRequest):
+        if host_distance(self.service.host,
+                         peer_service.host) >= CROSS_RACK:
+            self.cross_rack_requests += 1
+            if self.counters is not None:
+                self.counters.count("transport.cross-rack-tcp",
+                                    peer=peer_service.host.name)
+            response = yield from self._tcp_fallback.request(peer_service,
+                                                             request)
+            return response
         try:
             response = yield from BaseTransport.request(self, peer_service,
                                                         request)

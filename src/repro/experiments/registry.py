@@ -218,6 +218,32 @@ _SCALE_FANOUT = Fanout(points=_scale_points, run_point=_scale_run_point,
                        assemble=_scale_assemble)
 
 
+def _racks_points(kwargs: Dict[str, Any]) -> List[Tuple]:
+    return [(mode, n_racks)
+            for n_racks in kwargs.get("rack_counts", (1, 2, 3))
+            for mode in ("vanilla", "vRead")]
+
+
+def _racks_run_point(point: Tuple, seed: int, kwargs: Dict[str, Any]) -> Any:
+    from repro.experiments.scale_racks import _measure
+    mode, n_racks = point
+    return _measure(mode == "vRead", n_racks,
+                    kwargs.get("file_bytes", 4 << 20))
+
+
+def _racks_assemble(results: List[Tuple[Tuple, Any]],
+                    kwargs: Dict[str, Any], build: Callable[..., Any]) -> Any:
+    from repro.experiments.scale_racks import assemble
+    values = {point: rack_point for point, rack_point in results}
+    return assemble(values,
+                    rack_counts=kwargs.get("rack_counts", (1, 2, 3)),
+                    file_bytes=kwargs.get("file_bytes", 4 << 20))
+
+
+_RACKS_FANOUT = Fanout(points=_racks_points, run_point=_racks_run_point,
+                       assemble=_racks_assemble)
+
+
 # ------------------------------------------------------------------- headlines
 def _headline_breakdown(paper_client: str, paper_serving: str):
     def headline(result) -> List[str]:
@@ -379,6 +405,14 @@ register(ExperimentSpec(
     module="scale_clients", group="extension",
     params=lambda p: {"file_bytes": (4 if p == "quick" else 16) * _MB},
     fanout=_SCALE_FANOUT))
+
+register(ExperimentSpec(
+    name="scale-racks", figure="Extension: rack scale-out",
+    title="multi-rack scale-out over the leaf-spine fabric (extension)",
+    module="scale_racks", group="extension",
+    params=lambda p: {"rack_counts": (1, 2) if p == "quick" else (1, 2, 3),
+                      "file_bytes": (2 if p == "quick" else 4) * _MB},
+    fanout=_RACKS_FANOUT))
 
 register(ExperimentSpec(
     name="chaos-sweep", figure="Extension: chaos sweep",

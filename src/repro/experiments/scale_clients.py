@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.cluster import VirtualHadoopCluster
+from repro.cluster import VirtualHadoopCluster, paper_fig10
 from repro.experiments.common import FigureResult, warn_deprecated_main
 from repro.sim import AllOf
 from repro.storage.content import PatternSource
@@ -22,10 +22,9 @@ from repro.storage.content import PatternSource
 def _measure(vread: bool, n_clients: int, file_bytes: int) -> float:
     """Aggregate MB/s with ``n_clients`` client VMs reading concurrently."""
     cluster = VirtualHadoopCluster(block_size=max(file_bytes, 1 << 20),
-                                   vread=vread)
-    client_vms = [cluster.client_vm]
-    for i in range(1, n_clients):
-        client_vms.append(cluster.add_client_vm(f"client{i + 1}"))
+                                   vread=vread,
+                                   topology=paper_fig10(clients=n_clients))
+    client_vms = cluster.client_vms
     # Each client reads its own file from the co-located datanode.
     def load():
         for i in range(n_clients):

@@ -29,15 +29,18 @@ def random_plan(seed: int = 0, faults: int = 4, horizon: float = 2.0,
                 include_datanode_crashes: bool = True) -> FaultPlan:
     """Draw ``faults`` random faults over ``horizon`` sim-seconds.
 
-    ``datanode_ids``/``host_names`` restrict crash and disk targets
-    (defaults: ``["dn1"]`` / ``["host1", "host2"]`` — the standard
-    two-host cluster layout).  Set ``include_datanode_crashes=False`` for
-    replication-1 clusters where a crashed datanode has no surviving
-    replica to fail over to.
+    ``datanode_ids``/``host_names`` restrict crash and disk targets.  The
+    defaults are topology-relative rather than literal host names: crashes
+    hit ``dn1``, and disk/cache faults target "the host of dn1" / "the
+    host of dn2" — fault targets resolve datanode ids to their hosts at
+    injection time (see :mod:`repro.faults.plan`), so the same plan works
+    on any layout with two datanodes, wherever its hosts live.  Set
+    ``include_datanode_crashes=False`` for replication-1 clusters where a
+    crashed datanode has no surviving replica to fail over to.
     """
     rng = RandomStreams(seed).stream("chaos-plan")
     datanode_ids = datanode_ids or ["dn1"]
-    host_names = host_names or ["host1", "host2"]
+    host_names = host_names or ["dn1", "dn2"]
     plan = FaultPlan()
 
     def _recovery_window(at: float) -> float:

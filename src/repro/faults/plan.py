@@ -5,7 +5,7 @@ A plan is a declarative schedule of typed faults::
     plan = (FaultPlan()
             .at(0.05, DatanodeCrash("dn1", duration=0.5))
             .at(0.10, RdmaFlap(duration=0.3))
-            .at(0.00, DiskLatencySpike("host2", factor=8.0, duration=1.0))
+            .at(0.00, DiskLatencySpike("dn2", factor=8.0, duration=1.0))
             .on("daemon-down", DaemonCrash("client")))
 
 ``at`` times are **relative to arming** (see
@@ -16,8 +16,12 @@ manually (``injector.fire("daemon-down")``) or from test code.
 
 Every fault is a small dataclass with an ``inject(cluster, counters)``
 generator: apply the fault, optionally hold it for ``duration`` sim
-seconds, then revert.  Faults resolve their targets by name at injection
-time so a plan can be built before the cluster.
+seconds, then revert.  Faults resolve their targets from the cluster's
+topology at injection time, so a plan can be built before the cluster
+and reused across layouts: host targets accept either a host name or a
+datanode id ("the host of dn2"), VM targets accept a VM name or a
+datanode id, and defaults mean "the first sensible target" (first host,
+client VM, first datanode) rather than a hard-coded name.
 """
 
 from __future__ import annotations
@@ -27,25 +31,37 @@ from typing import List, Optional
 
 
 def _find_host(cluster, name: Optional[str]):
+    """Resolve a host target: a host name, or a datanode id ("host of dn2")."""
     if name is None:
         return cluster.hosts[0]
     for host in cluster.hosts:
         if host.name == name:
             return host
+    for datanode in cluster.datanodes:
+        if datanode.datanode_id == name:
+            return datanode.vm.host
     raise ValueError(f"no host named {name!r}; cluster has "
-                     f"{[h.name for h in cluster.hosts]}")
+                     f"{[h.name for h in cluster.hosts]} "
+                     f"(datanode ids also resolve: "
+                     f"{[d.datanode_id for d in cluster.datanodes]})")
 
 
 def _find_vm(cluster, name: Optional[str]):
+    """Resolve a VM target: a VM name, or a datanode id ("dn2's VM")."""
     if name is None:
         return cluster.client_vm
     for host in cluster.hosts:
         for vm in host.vms:
             if vm.name == name:
                 return vm
+    for datanode in cluster.datanodes:
+        if datanode.datanode_id == name:
+            return datanode.vm
     raise ValueError(
         f"no VM named {name!r}; cluster has "
-        f"{[vm.name for host in cluster.hosts for vm in host.vms]}")
+        f"{[vm.name for host in cluster.hosts for vm in host.vms]} "
+        f"(datanode ids also resolve: "
+        f"{[d.datanode_id for d in cluster.datanodes]})")
 
 
 def _daemon_for(cluster, vm_name: Optional[str]):
@@ -158,7 +174,8 @@ class DiskLatencySpike(Fault):
     label = "disk-latency-spike"
 
     def describe(self) -> str:
-        return f"{self.label}({self.host_name or 'host1'}x{self.factor:g})"
+        return (f"{self.label}({self.host_name or 'first-host'}"
+                f"x{self.factor:g})")
 
     def inject(self, cluster, counters):
         host = _find_host(cluster, self.host_name)
@@ -175,7 +192,7 @@ class DiskOutage(Fault):
     label = "disk-outage"
 
     def describe(self) -> str:
-        return f"{self.label}({self.host_name or 'host1'})"
+        return f"{self.label}({self.host_name or 'first-host'})"
 
     def inject(self, cluster, counters):
         host = _find_host(cluster, self.host_name)
@@ -187,16 +204,19 @@ class DiskOutage(Fault):
 @dataclass
 class ImageFault(Fault):
     """``vm_name``'s disk image becomes unreadable through loop mounts
-    (snapshot-chain corruption); the vRead path degrades for that VM."""
-    vm_name: str = "datanode1"
+    (snapshot-chain corruption); the vRead path degrades for that VM.
+
+    Default target: the first datanode VM in the topology."""
+    vm_name: Optional[str] = None
     duration: float = 0.5
     label = "image-fault"
 
     def describe(self) -> str:
-        return f"{self.label}({self.vm_name})"
+        return f"{self.label}({self.vm_name or 'first-datanode'})"
 
     def inject(self, cluster, counters):
-        vm = _find_vm(cluster, self.vm_name)
+        vm = (_find_vm(cluster, self.vm_name) if self.vm_name
+              else cluster.datanode_vms[0])
         vm.image.set_faulted(True)
         yield cluster.sim.timeout(self.duration)
         vm.image.set_faulted(False)
@@ -209,7 +229,7 @@ class HostCacheDrop(Fault):
     label = "host-cache-drop"
 
     def describe(self) -> str:
-        return f"{self.label}({self.host_name or 'host1'})"
+        return f"{self.label}({self.host_name or 'first-host'})"
 
     def inject(self, cluster, counters):
         host = _find_host(cluster, self.host_name)
@@ -239,19 +259,30 @@ class MigrateVm(Fault):
     """Live-migrate a (datanode) VM to another host mid-read.
 
     After the move the vRead hash tables are rebound on every host, as the
-    paper prescribes (Section 6)."""
-    vm_name: str = "datanode1"
-    target_host: str = "host2"
+    paper prescribes (Section 6).  Defaults resolve from the topology: the
+    first datanode VM moves to the next host after its current one."""
+    vm_name: Optional[str] = None
+    target_host: Optional[str] = None
     label = "vm-migration"
 
     def describe(self) -> str:
-        return f"{self.label}({self.vm_name}->{self.target_host})"
+        return (f"{self.label}({self.vm_name or 'first-datanode'}"
+                f"->{self.target_host or 'next-host'})")
 
     def inject(self, cluster, counters):
         from repro.virt.migration import migrate_vm
 
-        vm = _find_vm(cluster, self.vm_name)
-        target = _find_host(cluster, self.target_host)
+        vm = (_find_vm(cluster, self.vm_name) if self.vm_name
+              else cluster.datanode_vms[0])
+        if self.target_host is not None:
+            target = _find_host(cluster, self.target_host)
+        else:
+            index = cluster.hosts.index(vm.host)
+            target = cluster.hosts[(index + 1) % len(cluster.hosts)]
+        if target is vm.host:
+            raise ValueError(
+                f"cannot migrate {vm.name!r}: target host "
+                f"{target.name!r} is the VM's current host")
         yield from migrate_vm(vm, target, cluster.lan)
         if cluster.vread_manager is not None:
             for datanode in cluster.datanodes:

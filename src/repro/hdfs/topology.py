@@ -1,15 +1,29 @@
-"""Virtualization-aware block placement and replica selection.
+"""Virtualization- and rack-aware block placement and replica selection.
 
 Models VMware HVE-style topology awareness (upstreamed into Hadoop 1.2.0+,
-and the deployment style the paper assumes): the cluster knows which
-physical host each datanode VM runs on, prefers a **co-located datanode VM**
-(same host, different VM) for reads, and spreads replicas across hosts for
-writes.
+and the deployment style the paper assumes) extended with HDFS's default
+rack-aware placement rule:
+
+* **reads** rank replicas by network distance — a co-located datanode VM
+  (same physical host, different VM) first, then same-rack datanodes, then
+  cross-rack ones;
+* **writes** place replica 1 local (the co-located datanode when one
+  exists), replica 2 on a *different* rack, replica 3 on the *same* remote
+  rack as replica 2 but a different node, and any further replicas
+  round-robin — so three replicas always span exactly two racks, the
+  write pipeline crosses the aggregation fabric once, and the loss of a
+  whole rack never loses a block.
+
+On a single-rack topology (the paper's Figure 10 testbed) the rack rule
+degenerates to the previous behaviour byte-for-byte: co-located replica
+first, remaining replicas round-robin across hosts.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
+
+from repro.net.lan import host_distance
 
 
 class PlacementPolicy:
@@ -18,6 +32,10 @@ class PlacementPolicy:
     def __init__(self, namenode):
         self.namenode = namenode
         self._write_cursor = 0
+        #: Optional FaultCounters sink (wired by the cluster builder):
+        #: placement decisions are counted as ``placement.*`` events, which
+        #: makes the rack-aware rule observable in the trace.
+        self.counters = None
 
     # ----------------------------------------------------------------- writes
     def choose_targets(self, client_vm, replication: int,
@@ -26,11 +44,13 @@ class PlacementPolicy:
         """Datanode ids for a new block's replica pipeline.
 
         Order of preference: explicitly favored datanodes, then a co-located
-        datanode (same physical host as the writer), then remaining
-        datanodes round-robin across hosts.  With ``spread=True`` the
-        co-located preference is skipped and first replicas round-robin over
-        all datanodes — how the paper's *hybrid* datasets (read from both
-        the co-located and the remote datanode) are laid out.
+        datanode (same physical host as the writer), then — when the
+        datanodes span more than one rack — the rack-aware fill described
+        in the module docstring, falling back to round-robin across hosts.
+        With ``spread=True`` the co-located preference is skipped and first
+        replicas round-robin over all datanodes — how the paper's *hybrid*
+        datasets (read from both the co-located and the remote datanode)
+        are laid out.
         """
         datanodes = [dn_id for dn_id in self.namenode.datanode_ids()
                      if dn_id not in self.namenode.excluded_datanodes]
@@ -52,36 +72,79 @@ class PlacementPolicy:
             local = self._co_located(client_vm, datanodes)
             if local is not None and local not in chosen:
                 chosen.append(local)
-        # Fill remaining slots round-robin for even spread.
+        # Remaining slots fill from a round-robin rotation for even spread.
         ordered = datanodes[self._write_cursor:] + datanodes[:self._write_cursor]
         self._write_cursor = (self._write_cursor + 1) % len(datanodes)
+        if not spread and len({self._rack_of(dn) for dn in datanodes}) > 1:
+            self._rack_aware_fill(chosen, ordered, replication)
         for dn_id in ordered:
             if len(chosen) == replication:
                 break
             if dn_id not in chosen:
                 chosen.append(dn_id)
-        return chosen[:replication]
+        chosen = chosen[:replication]
+        self._count_placement(chosen, replication)
+        return chosen
+
+    def _rack_aware_fill(self, chosen: List[str], ordered: Sequence[str],
+                         replication: int) -> None:
+        """HDFS's default rule: replica 2 off-rack, replica 3 beside it."""
+        if not chosen and ordered:
+            chosen.append(ordered[0])  # replica 1: writer-preferred node
+        if not chosen or len(chosen) >= replication:
+            return
+        first_rack = self._rack_of(chosen[0])
+        remote = next((dn for dn in ordered
+                       if dn not in chosen
+                       and self._rack_of(dn) != first_rack), None)
+        if remote is None:
+            return
+        chosen.append(remote)  # replica 2: a different rack
+        if len(chosen) >= replication:
+            return
+        remote_rack = self._rack_of(remote)
+        sibling = next((dn for dn in ordered
+                        if dn not in chosen
+                        and self._rack_of(dn) == remote_rack), None)
+        if sibling is not None:
+            chosen.append(sibling)  # replica 3: same remote rack, new node
+
+    def _count_placement(self, chosen: Sequence[str], replication: int) -> None:
+        if self.counters is None or not chosen:
+            return
+        racks = [self._rack_of(dn) for dn in chosen]
+        self.counters.count(
+            "placement.block",
+            replicas=len(chosen), racks=len(set(racks)),
+            layout=",".join(f"{dn}@{rack}"
+                            for dn, rack in zip(chosen, racks)))
+        if len(set(racks)) > 1:
+            self.counters.count("placement.cross-rack")
 
     # ------------------------------------------------------------------ reads
     def choose_read_replica(self, client_vm, locations: Sequence[str]) -> str:
-        """Pick the replica to read: co-located VM first, then any remote."""
+        """Pick the replica to read: the nearest one by network distance."""
         return self.rank_read_replicas(client_vm, locations)[0]
 
     def rank_read_replicas(self, client_vm,
                            locations: Sequence[str]) -> List[str]:
-        """All replicas in preference order (co-located first).
+        """All replicas ordered by network distance from the reader.
 
-        Clients walk this list on read failures: if the preferred replica's
-        datanode is down or lost the block, the next one is tried.
+        Co-located VM (distance 0) first, then same-rack datanodes
+        (distance 2), then cross-rack ones (distance 4); ties keep the
+        namenode's location order.  Clients walk this list on read
+        failures: if the preferred replica's datanode is down or lost the
+        block, the next one is tried.
         """
         if not locations:
             raise RuntimeError("block has no locations")
-        local = [dn_id for dn_id in locations
-                 if self.namenode.datanode(dn_id).vm.host is client_vm.host]
-        remote = [dn_id for dn_id in locations if dn_id not in local]
-        return local + remote
+        return sorted(locations, key=lambda dn_id: host_distance(
+            client_vm.host, self.namenode.datanode(dn_id).vm.host))
 
     # ---------------------------------------------------------------- helpers
+    def _rack_of(self, dn_id: str) -> Optional[str]:
+        return getattr(self.namenode.datanode(dn_id).vm.host, "rack", None)
+
     def _co_located(self, client_vm, datanodes: Sequence[str]) -> Optional[str]:
         for dn_id in datanodes:
             datanode = self.namenode.datanode(dn_id)

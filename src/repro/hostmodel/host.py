@@ -42,6 +42,8 @@ class PhysicalHost:
         self.mounts: Dict[str, LoopMount] = {}
         #: Physical NIC (attached by the network layer when wired to a LAN).
         self.nic = None
+        #: Rack name (stamped by the network layer; None = unattached).
+        self.rack: Optional[str] = None
 
     # ------------------------------------------------------------------ CPU
     @property

@@ -1,0 +1,72 @@
+"""no-topology-literals: hard-coded host/datanode names belong in presets."""
+
+import textwrap
+
+from repro.analysis.rules.topology_literals import NoTopologyLiteralsRule
+from repro.analysis.runner import lint_source
+
+
+def lint(snippet, rule=None, path="<string>"):
+    return lint_source(textwrap.dedent(snippet),
+                       [rule or NoTopologyLiteralsRule()], path=path)
+
+
+def test_host_and_datanode_literals_flagged():
+    violations = lint("""
+        def pick():
+            target = "host1"
+            vm = "datanode2"
+            return target, vm
+        """)
+    assert [v.rule for v in violations] == ["no-topology-literals"] * 2
+    assert [v.line for v in violations] == [3, 4]
+    assert "host1" in violations[0].message
+    assert "datanode2" in violations[1].message
+
+
+def test_docstrings_exempt():
+    violations = lint('''
+        """Module about host1 and datanode2 layouts."""
+
+        class Thing:
+            """Targets host1 by default."""
+
+            def run(self):
+                """Reads from datanode2."""
+                return None
+        ''')
+    assert violations == []
+
+
+def test_non_layout_names_not_flagged():
+    violations = lint("""
+        RACK = "rack1"
+        DN = "dn1"
+        NOTE = "the host12x suffix is fine"
+        PORT = "hostname"
+        """)
+    assert violations == []
+
+
+def test_allow_glob_exempts_path():
+    snippet = """
+        DEFAULT = "host1"
+        """
+    assert lint(snippet, path="src/repro/cluster/topology.py") == []
+    assert len(lint(snippet, path="src/repro/faults/plan.py")) == 1
+
+
+def test_custom_allowlist():
+    rule = NoTopologyLiteralsRule(allow=("*special*",))
+    snippet = """
+        DEFAULT = "datanode1"
+        """
+    assert lint(snippet, rule=rule, path="pkg/special_mod.py") == []
+    assert len(lint(snippet, rule=rule, path="pkg/other.py")) == 1
+
+
+def test_pragma_disables():
+    violations = lint("""
+        DEFAULT = "host1"  # simlint: disable=no-topology-literals
+        """)
+    assert violations == []

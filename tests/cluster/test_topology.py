@@ -1,0 +1,180 @@
+"""Tests for the declarative topology layer: specs, presets, interpreter."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    HostSpec,
+    RackSpec,
+    TopologyError,
+    TopologySpec,
+    VirtualHadoopCluster,
+    VmSpec,
+    paper_fig10,
+    rack_cluster,
+)
+
+
+# ------------------------------------------------------------------ spec basics
+def test_vm_spec_rejects_unknown_role():
+    with pytest.raises(TopologyError, match="unknown VM role"):
+        VmSpec("vm1", role="namenode")
+
+
+def test_vm_spec_rejects_datanode_id_on_other_roles():
+    with pytest.raises(TopologyError, match="only datanode VMs"):
+        VmSpec("vm1", role="client", datanode_id="dn1")
+
+
+def test_validate_assigns_datanode_ids_in_declaration_order():
+    spec = TopologySpec(racks=[RackSpec("r1", [
+        HostSpec("a", [VmSpec("c", "client"), VmSpec("d1", "datanode")]),
+        HostSpec("b", [VmSpec("d2", "datanode")]),
+    ])])
+    ids = [vm.datanode_id for _, _, vm in spec.placements("datanode")]
+    assert ids == ["dn1", "dn2"]
+
+
+@pytest.mark.parametrize("build, pattern", [
+    (lambda: TopologySpec(racks=[]), "no racks"),
+    (lambda: TopologySpec(racks=[RackSpec("r1", [])]), "no hosts"),
+    (lambda: TopologySpec(racks=[
+        RackSpec("r1", [HostSpec("a", [VmSpec("c", "client")])]),
+        RackSpec("r1", [HostSpec("b", [VmSpec("d", "datanode")])]),
+    ]), "duplicate rack"),
+    (lambda: TopologySpec(racks=[RackSpec("r1", [
+        HostSpec("a", [VmSpec("c", "client")]),
+        HostSpec("a", [VmSpec("d", "datanode")]),
+    ])]), "duplicate host"),
+    (lambda: TopologySpec(racks=[RackSpec("r1", [
+        HostSpec("a", [VmSpec("x", "client"), VmSpec("x", "datanode")]),
+    ])]), "duplicate VM"),
+    (lambda: TopologySpec(racks=[RackSpec("r1", [
+        HostSpec("a", [VmSpec("c", "client"),
+                       VmSpec("d1", "datanode", datanode_id="dn1"),
+                       VmSpec("d2", "datanode", datanode_id="dn1")]),
+    ])]), "duplicate datanode id"),
+    (lambda: TopologySpec(racks=[RackSpec("r1", [
+        HostSpec("a", [VmSpec("d", "datanode")]),
+    ])]), "no client VM"),
+    (lambda: TopologySpec(racks=[RackSpec("r1", [
+        HostSpec("a", [VmSpec("c", "client")]),
+    ])]), "no datanode VM"),
+    (lambda: TopologySpec(oversubscription=0.5, racks=[RackSpec("r1", [
+        HostSpec("a", [VmSpec("c", "client"), VmSpec("d", "datanode")]),
+    ])]), "oversubscription"),
+])
+def test_spec_validation_errors(build, pattern):
+    with pytest.raises(TopologyError, match=pattern):
+        build()
+
+
+def test_spec_queries():
+    spec = rack_cluster(n_racks=2, hosts_per_rack=2)
+    assert spec.rack_of("host3") == "rack2"
+    assert spec.host_of_datanode("dn4") == "host4"
+    counts = spec.counts()
+    assert counts == {"racks": 2, "hosts": 4, "client": 1, "datanode": 4,
+                      "background": 0, "aux": 0}
+    with pytest.raises(TopologyError, match="no host named"):
+        spec.rack_of("host99")
+    with pytest.raises(TopologyError, match="no datanode"):
+        spec.host_of_datanode("dn99")
+    assert "rack2" in spec.describe()
+
+
+# -------------------------------------------------------------------- presets
+def test_paper_fig10_matches_the_testbed():
+    spec = paper_fig10()
+    assert [rack.name for rack in spec.racks] == ["rack1"]
+    host1, host2 = spec.hosts()
+    assert [vm.name for vm in host1.vms] == ["client", "datanode1"]
+    assert [vm.name for vm in host2.vms] == ["datanode2"]
+
+
+def test_paper_fig10_background_fill():
+    spec = paper_fig10(total_vms_per_host=4)
+    names = [vm.name for _, _, vm in spec.placements("background")]
+    assert names == ["host1-bg1", "host1-bg2",
+                     "host2-bg1", "host2-bg2", "host2-bg3"]
+
+
+def test_paper_fig10_multiple_clients_on_host1():
+    spec = paper_fig10(clients=3)
+    placements = spec.placements("client")
+    assert [vm.name for _, _, vm in placements] == ["client", "client2",
+                                                    "client3"]
+    assert {host.name for _, host, _ in placements} == {"host1"}
+
+
+@pytest.mark.parametrize("kwargs, pattern", [
+    ({"n_hosts": 1}, "at least 2 hosts"),
+    ({"total_vms_per_host": 1}, "at least 2 VMs"),
+    ({"clients": 0}, "at least 1 client"),
+    ({"n_datanodes": 0}, "n_datanodes must be >= 2"),
+    ({"n_datanodes": 1}, "n_datanodes must be >= 2"),
+    ({"n_datanodes": 3}, "exceeds n_hosts"),
+])
+def test_paper_fig10_validation(kwargs, pattern):
+    with pytest.raises(TopologyError, match=pattern):
+        paper_fig10(**kwargs)
+
+
+def test_rack_cluster_layout():
+    spec = rack_cluster(n_racks=2, hosts_per_rack=2, datanodes_per_host=2,
+                        clients=3)
+    assert [rack.name for rack in spec.racks] == ["rack1", "rack2"]
+    assert [host.name for host in spec.hosts()] == ["host1", "host2",
+                                                    "host3", "host4"]
+    clients = [(host.name, vm.name)
+               for _, host, vm in spec.placements("client")]
+    assert clients == [("host1", "client"), ("host2", "client2"),
+                       ("host3", "client3")]
+    assert len(spec.placements("datanode")) == 8
+
+
+@pytest.mark.parametrize("kwargs, pattern", [
+    ({"n_racks": 0, "hosts_per_rack": 2}, "at least 1 rack"),
+    ({"n_racks": 1, "hosts_per_rack": 0}, "at least 1 host per rack"),
+    ({"n_racks": 1, "hosts_per_rack": 1}, "at least 2 hosts in total"),
+    ({"n_racks": 1, "hosts_per_rack": 2, "datanodes_per_host": 0},
+     "at least 1 datanode per host"),
+    ({"n_racks": 1, "hosts_per_rack": 2, "clients": 0},
+     "at least 1 client"),
+])
+def test_rack_cluster_validation(kwargs, pattern):
+    with pytest.raises(TopologyError, match=pattern):
+        rack_cluster(**kwargs)
+
+
+# -------------------------------------------------------------- interpretation
+def test_config_rejects_topology_plus_layout_knobs():
+    with pytest.raises(ValueError, match="not both"):
+        ClusterConfig(n_hosts=3, topology=paper_fig10())
+
+
+def test_cluster_interprets_multi_rack_spec():
+    cluster = VirtualHadoopCluster(block_size=1 << 20,
+                                   topology=rack_cluster(2, 2, clients=2))
+    assert [h.name for h in cluster.hosts] == ["host1", "host2", "host3",
+                                               "host4"]
+    assert [h.rack for h in cluster.hosts] == ["rack1", "rack1",
+                                               "rack2", "rack2"]
+    assert [vm.name for vm in cluster.client_vms] == ["client", "client2"]
+    assert cluster.client_vm.host is cluster.hosts[0]
+    assert [d.datanode_id for d in cluster.datanodes] == ["dn1", "dn2",
+                                                          "dn3", "dn4"]
+    assert cluster.host_of_datanode("dn3") is cluster.hosts[2]
+    assert cluster.host_named("host4") is cluster.hosts[3]
+    with pytest.raises(ValueError, match="no host named"):
+        cluster.host_named("host9")
+    with pytest.raises(ValueError, match="no datanode"):
+        cluster.host_of_datanode("dn9")
+
+
+def test_default_cluster_topology_attribute_is_paper_fig10():
+    cluster = VirtualHadoopCluster(block_size=1 << 20)
+    assert cluster.topology.counts() == {"racks": 1, "hosts": 2,
+                                         "client": 1, "datanode": 2,
+                                         "background": 0, "aux": 0}
+    assert all(host.rack == "rack1" for host in cluster.hosts)

@@ -1,0 +1,92 @@
+"""Rack-aware placement: the HDFS default rule and distance-ranked reads."""
+
+import pytest
+
+from repro.cluster import VirtualHadoopCluster, rack_cluster
+from repro.storage.content import PatternSource
+
+
+def make_cluster(**kwargs):
+    kwargs.setdefault("topology", rack_cluster(2, 2))
+    return VirtualHadoopCluster(block_size=1 << 20, **kwargs)
+
+
+def test_three_replicas_span_exactly_two_racks():
+    cluster = make_cluster()
+    policy = cluster.namenode.policy
+    targets = policy.choose_targets(cluster.client_vm, replication=3)
+    racks = [cluster.host_of_datanode(dn).rack for dn in targets]
+    assert len(targets) == 3
+    assert len(set(racks)) == 2
+    # Replica 1 is the co-located datanode (the writer's host).
+    assert cluster.host_of_datanode(targets[0]) is cluster.client_vm.host
+    # Replica 2 is on the other rack; replica 3 shares its rack but not
+    # its node.
+    assert racks[1] != racks[0]
+    assert racks[2] == racks[1]
+    assert targets[2] != targets[1]
+
+
+def test_two_replicas_span_two_racks():
+    cluster = make_cluster()
+    targets = cluster.namenode.policy.choose_targets(cluster.client_vm,
+                                                     replication=2)
+    racks = {cluster.host_of_datanode(dn).rack for dn in targets}
+    assert len(racks) == 2
+
+
+def test_single_rack_placement_unchanged():
+    # The default (paper) topology has one rack: co-located replica first,
+    # round-robin fill — the pre-rack behaviour.
+    cluster = VirtualHadoopCluster(block_size=1 << 20)
+    targets = cluster.namenode.policy.choose_targets(cluster.client_vm,
+                                                     replication=2)
+    assert targets == ["dn1", "dn2"]
+
+
+def test_spread_skips_rack_rule():
+    cluster = make_cluster()
+    policy = cluster.namenode.policy
+    first = policy.choose_targets(cluster.client_vm, replication=1,
+                                  spread=True)
+    second = policy.choose_targets(cluster.client_vm, replication=1,
+                                   spread=True)
+    assert first != second  # round-robin, not pinned to the local node
+
+
+def test_read_replicas_ranked_by_network_distance():
+    cluster = make_cluster(topology=rack_cluster(2, 2, clients=3))
+    policy = cluster.namenode.policy
+    # client3 lives on host3 (rack2); dn3 is co-located, dn4 same rack,
+    # dn1/dn2 cross-rack.
+    client3 = cluster.client_vms[2]
+    assert client3.host is cluster.hosts[2]
+    ranked = policy.rank_read_replicas(client3, ["dn1", "dn2", "dn3", "dn4"])
+    assert ranked[0] == "dn3"
+    assert ranked[1] == "dn4"
+    assert set(ranked[2:]) == {"dn1", "dn2"}
+    # Ties keep the namenode's order (stable sort).
+    assert ranked[2:] == ["dn1", "dn2"]
+
+
+def test_rank_read_replicas_empty_locations_rejected():
+    cluster = make_cluster()
+    with pytest.raises(RuntimeError, match="no locations"):
+        cluster.namenode.policy.rank_read_replicas(cluster.client_vm, [])
+
+
+def test_placement_decisions_observable_in_trace():
+    cluster = make_cluster()
+    payload = PatternSource(256 * 1024, seed=5)
+
+    def load():
+        yield from cluster.write_dataset("/trace/data", payload,
+                                         replication=3)
+
+    cluster.run(cluster.sim.process(load()))
+    assert cluster.fault_counters.get("placement.cross-rack") > 0
+    events = cluster.tracer.events(category="fault", name="placement.block")
+    assert events
+    fields = dict(events[0].fields)
+    assert fields["racks"] == 2
+    assert "@rack" in fields["layout"]

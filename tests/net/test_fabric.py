@@ -1,0 +1,120 @@
+"""Tests for the rack-aware fabric: distances, uplinks, cross-rack cost."""
+
+import pytest
+
+from repro.hostmodel import PhysicalHost
+from repro.hostmodel.costs import CostModel
+from repro.net.lan import (
+    CROSS_RACK,
+    DEFAULT_RACK,
+    SAME_HOST,
+    SAME_RACK,
+    Lan,
+    host_distance,
+)
+from repro.sim import SimulationError, Simulator
+
+
+def make_fabric(racks=("rackA", "rackA", "rackB"), oversubscription=4.0):
+    sim = Simulator()
+    costs = CostModel()
+    lan = Lan(sim, costs, oversubscription=oversubscription)
+    hosts = []
+    for i, rack in enumerate(racks):
+        host = PhysicalHost(sim, f"h{i}", costs=costs)
+        lan.attach(host, rack=rack)
+        hosts.append(host)
+    return sim, lan, hosts, costs
+
+
+def test_attach_stamps_rack():
+    _, _, hosts, _ = make_fabric()
+    assert hosts[0].rack == "rackA"
+    assert hosts[2].rack == "rackB"
+
+
+def test_attach_without_rack_uses_default():
+    sim = Simulator()
+    costs = CostModel()
+    lan = Lan(sim, costs)
+    host = PhysicalHost(sim, "h0", costs=costs)
+    lan.attach(host)
+    assert host.rack == DEFAULT_RACK
+
+
+def test_host_distance_levels():
+    _, lan, hosts, _ = make_fabric()
+    assert host_distance(hosts[0], hosts[0]) == SAME_HOST
+    assert host_distance(hosts[0], hosts[1]) == SAME_RACK
+    assert host_distance(hosts[0], hosts[2]) == CROSS_RACK
+    assert lan.distance(hosts[0], hosts[2]) == CROSS_RACK
+
+
+def test_host_distance_unattached_hosts_count_as_same_rack():
+    sim = Simulator()
+    a = PhysicalHost(sim, "a")
+    b = PhysicalHost(sim, "b")
+    assert host_distance(a, b) == SAME_RACK
+
+
+def test_oversubscription_below_one_rejected():
+    with pytest.raises(SimulationError, match="oversubscription"):
+        Lan(Simulator(), CostModel(), oversubscription=0.5)
+
+
+def test_uplink_bandwidth_is_rack_sum_over_oversubscription():
+    _, lan, _, costs = make_fabric(oversubscription=4.0)
+    uplink = lan.uplink_of("rackA")  # two hosts in rackA
+    expected = costs.nic_bandwidth_bytes_per_sec * 2 / 4.0
+    assert uplink.bandwidth_bytes_per_sec == pytest.approx(expected)
+
+
+def test_same_rack_transfer_matches_flat_lan():
+    sim, lan, hosts, costs = make_fabric()
+    nbytes = 1 << 20
+
+    def proc():
+        yield from lan.transfer(hosts[0], hosts[1], nbytes)
+        return sim.now
+
+    process = sim.process(proc())
+    sim.run()
+    expected = nbytes / costs.nic_bandwidth_bytes_per_sec + costs.lan_latency
+    assert process.value == pytest.approx(expected)
+
+
+def test_cross_rack_transfer_pays_uplink_and_extra_hops():
+    sim, lan, hosts, costs = make_fabric()
+    nbytes = 1 << 20
+
+    def proc():
+        yield from lan.transfer(hosts[0], hosts[2], nbytes)
+        return sim.now
+
+    process = sim.process(proc())
+    sim.run()
+    uplink = lan.uplink_of("rackA")
+    expected = (nbytes / costs.nic_bandwidth_bytes_per_sec
+                + nbytes / uplink.bandwidth_bytes_per_sec
+                + 3 * costs.lan_latency)
+    assert process.value == pytest.approx(expected)
+    assert uplink.bytes_sent == nbytes
+
+
+def test_cross_rack_flows_serialize_on_the_uplink():
+    sim, lan, hosts, costs = make_fabric(racks=("rackA", "rackA", "rackB"))
+    nbytes = 4 << 20
+
+    def proc(src):
+        yield from lan.transfer(src, hosts[2], nbytes)
+        return sim.now
+
+    a = sim.process(proc(hosts[0]))
+    b = sim.process(proc(hosts[1]))
+    sim.run()
+    # Two senders share one rackA uplink: the later finisher pays for both
+    # uplink occupancies, so it cannot match the solo transfer time.
+    solo = (nbytes / costs.nic_bandwidth_bytes_per_sec
+            + nbytes / lan.uplink_of("rackA").bandwidth_bytes_per_sec
+            + 3 * costs.lan_latency)
+    assert max(a.value, b.value) > solo
