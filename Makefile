@@ -1,6 +1,6 @@
 # Convenience targets for the vRead reproduction.
 
-.PHONY: install test lint chaos bench bench-quick bench-tables report paper-report quick-report demo clean
+.PHONY: install test lint chaos bench bench-quick bench-pr5 bench-pr5-quick profile bench-tables report paper-report quick-report demo clean
 
 install:
 	python setup.py develop
@@ -20,6 +20,17 @@ bench:
 
 bench-quick:
 	python benchmarks/perf/bench_pr3.py --quick --out BENCH_pr3.json
+
+bench-pr5:
+	PYTHONPATH=src python benchmarks/perf/bench_pr5.py --out BENCH_pr5.json
+
+bench-pr5-quick:
+	PYTHONPATH=src python benchmarks/perf/bench_pr5.py --quick --out BENCH_pr5.json
+
+# Usage: make profile [EXP=fig11] [PROFILE_FLAGS="--quick --memory"]
+EXP ?= fig11
+profile:
+	PYTHONPATH=src python -m repro profile $(EXP) $(PROFILE_FLAGS)
 
 bench-tables:
 	pytest benchmarks/ --benchmark-only

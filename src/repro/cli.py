@@ -7,6 +7,9 @@ Commands:
   one experiment (or ``all``) and print its paper-style table(s).
   ``--jobs`` fans sweep-shaped experiments out over worker processes;
   parallel and serial runs produce byte-identical results.
+* ``profile <name> [--quick|--paper] [--memory] [--json OUT]`` — run one
+  experiment under the profiling harness (cProfile + kernel counters; see
+  :mod:`repro.perf`) and print the hot functions and events/sec summary.
 * ``demo`` — the quickstart: vanilla vs vRead on one file, verified.
 
 The experiment table itself lives in :mod:`repro.experiments.registry`;
@@ -82,6 +85,24 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.perf import profiler
+
+    try:
+        registry.get(args.experiment)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    report = profiler.profile_experiment(
+        args.experiment, profile=_profile(args), seed=args.seed,
+        top=args.top, memory=args.memory)
+    print(report.render())
+    if args.json:
+        profiler.write_json(report, args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def _demo(_args) -> int:
     from repro.cluster import VirtualHadoopCluster
     from repro.storage.content import PatternSource
@@ -134,6 +155,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser_run.add_argument("--json", metavar="OUT",
                             help="also write the result as JSON to OUT")
     parser_run.set_defaults(func=cmd_run)
+
+    parser_prof = sub.add_parser(
+        "profile", help="profile an experiment (cProfile + kernel counters)")
+    parser_prof.add_argument("experiment")
+    parser_prof.add_argument("--quick", action="store_true",
+                             help="smaller datasets")
+    parser_prof.add_argument("--paper", action="store_true",
+                             help="paper-sized datasets")
+    parser_prof.add_argument("--seed", type=int, default=0, metavar="S",
+                             help="root seed for seeded sweeps (default: 0)")
+    parser_prof.add_argument("--top", type=int, default=15, metavar="N",
+                             help="hot functions to show (default: 15)")
+    parser_prof.add_argument("--memory", action="store_true",
+                             help="also trace allocations (tracemalloc; "
+                                  "slower)")
+    parser_prof.add_argument("--json", metavar="OUT",
+                             help="also write the report as JSON to OUT")
+    parser_prof.set_defaults(func=cmd_profile)
 
     parser_demo = sub.add_parser("demo", help="vanilla-vs-vRead quick demo")
     parser_demo.set_defaults(func=_demo)

@@ -101,8 +101,13 @@ def get(name: str) -> ExperimentSpec:
     try:
         return _REGISTRY[name]
     except KeyError:
+        from difflib import get_close_matches
         known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown experiment {name!r}; known: {known}")
+        hint = ""
+        close = get_close_matches(name, _REGISTRY, n=1)
+        if close:
+            hint = f" (did you mean {close[0]!r}?)"
+        raise KeyError(f"unknown experiment {name!r}{hint}; known: {known}")
 
 
 def names() -> List[str]:

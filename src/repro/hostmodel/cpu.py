@@ -12,11 +12,35 @@ round-robin fair sharing.
 delay**: with 2 VMs on a quad-core host every vCPU and vhost thread finds a
 core immediately; with 4 VMs (2 running lookbusy) dispatch queueing delays
 every boundary crossing of the vanilla HDFS read path (Figs 3 and 9).
+
+Two scheduler implementations coexist behind the ``REPRO_LEGACY_SLICES``
+toggle (mirroring ``REPRO_LEGACY_BUFFERS`` in the data plane):
+
+* the **sliced reference** (:meth:`CpuScheduler._execute_sliced`) wakes the
+  simulator at every time-slice boundary, exactly as the pre-PR5 code did;
+* the **coalesced fast path** (:meth:`CpuScheduler._execute_fast`) arms one
+  whole-burst timer while no thread waits for a core and *demotes* it back
+  to slice granularity the moment a contender arrives, replaying the
+  reference's float arithmetic (same left-fold order) so clocks, charges
+  and RNG draws stay bit-for-bit identical.
+
+Sanitize mode (``Simulator(sanitize=True)``) always runs the reference
+implementation: its per-slice event ceremony is what the sanitizer's
+bookkeeping instruments.
+
+Known tie caveat: when an *unrelated* event chain lands on the exact float
+instant of a slice boundary with a heap sequence number in the narrow
+window the coalesced path cannot observe (created after the slice timer it
+replaces would have been created), the two implementations may order that
+instant differently.  The regression pins, the bench determinism gate and
+the equivalence property suite all run both implementations to keep this
+theoretical corner empirically empty.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import random
 from collections import deque
 from typing import Deque, Optional
@@ -24,6 +48,36 @@ from typing import Deque, Optional
 from repro.metrics.accounting import CpuAccounting, OTHERS
 from repro.hostmodel.costs import CostModel
 from repro.sim import Event, Lock, SimulationError, Simulator
+from repro.sim.events import AbsoluteTimeout
+
+_legacy_slices = os.environ.get("REPRO_LEGACY_SLICES", "") not in ("", "0")
+
+
+def use_legacy_slices(enabled: bool) -> None:
+    """Route CPU bursts through the pre-PR5 slice-loop reference scheduler."""
+    global _legacy_slices
+    _legacy_slices = bool(enabled)
+
+
+def legacy_slices_enabled() -> bool:
+    """True when the slice-loop reference scheduler is selected."""
+    return _legacy_slices
+
+
+class legacy_slices:
+    """Context manager: temporarily select the slice-loop reference."""
+
+    def __init__(self, enabled: bool = True):
+        self._enabled = enabled
+        self._previous = None
+
+    def __enter__(self) -> "legacy_slices":
+        self._previous = _legacy_slices
+        use_legacy_slices(self._enabled)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        use_legacy_slices(self._previous)
 
 
 class Thread:
@@ -44,10 +98,144 @@ class Thread:
 
         Use as ``yield from thread.run(...)`` inside a simulation process.
         """
-        return self.scheduler.execute(self, cycles, category)
+        scheduler = self.scheduler
+        if _legacy_slices or scheduler.sim.sanitizer is not None:
+            return scheduler._execute_sliced(self, cycles, category)
+        return scheduler._execute_fast(self, cycles, category)
 
     def __repr__(self) -> str:
         return f"<Thread {self.name}>"
+
+
+class _Burst:
+    """In-flight coalesced burst state (fast path only).
+
+    Keeps the exact slice-fold cursor — ``t`` is the last committed
+    boundary, ``rem`` the cycles outstanding at that boundary — so charges
+    committed lazily (at segment wake-ups, demotions, or accounting reads)
+    replay the reference loop's float arithmetic: identical left-folds,
+    identical per-key read-modify-write sequences.
+    """
+
+    __slots__ = ("scheduler", "thread_name", "category", "proc", "timer",
+                 "armed_end", "arm_seq", "switch_end_wake", "t", "rem",
+                 "switch_seconds", "switch_done", "slice_cycles",
+                 "frequency_hz")
+
+    def __init__(self, scheduler: "CpuScheduler", thread_name: str,
+                 category: str, proc):
+        self.scheduler = scheduler
+        self.thread_name = thread_name
+        self.category = category
+        self.proc = proc
+        self.timer = None
+        self.armed_end = 0.0
+        self.arm_seq = 0
+        #: Timer armed at the dispatch-switch end (frequency-change demote):
+        #: the wake there re-folds at the new clock and must not preempt —
+        #: the reference loop never preempts at a switch boundary.
+        self.switch_end_wake = False
+        self.t = 0.0
+        self.rem = 0.0
+        self.switch_seconds = 0.0
+        self.switch_done = True
+        self.slice_cycles = 0.0
+        self.frequency_hz = 0.0
+
+    def begin_segment(self, now: float, rem: float, switch_seconds: float,
+                      slice_cycles: float, frequency_hz: float) -> None:
+        self.t = now
+        self.rem = rem
+        self.switch_seconds = switch_seconds
+        # A zero-cost switch still goes through the pending state: the
+        # reference charges it unconditionally, which mints the (thread,
+        # "others") accounting key even when the value is 0.0.
+        self.switch_done = False
+        self.slice_cycles = slice_cycles
+        self.frequency_hz = frequency_hz
+
+    def segment_end(self) -> float:
+        """Absolute end of the whole remaining segment (reference fold)."""
+        t = self.t
+        if not self.switch_done:
+            t = t + self.switch_seconds
+        rem = self.rem
+        S = self.slice_cycles
+        freq = self.frequency_hz
+        while rem > 0:
+            burst = rem if rem < S else S
+            t = t + burst / freq
+            rem = rem - burst
+        return t
+
+    def next_boundary(self) -> float:
+        """Absolute end of the first uncommitted slice.
+
+        While the dispatch context switch is still pending this includes
+        it: the reference loop cannot preempt before the first slice after
+        dispatch completes.
+        """
+        t = self.t
+        if not self.switch_done:
+            t = t + self.switch_seconds
+        rem = self.rem
+        if rem > 0:
+            burst = rem if rem < self.slice_cycles else self.slice_cycles
+            t = t + burst / self.frequency_hz
+        return t
+
+    def commit(self, now: float) -> None:
+        """Charge every fold boundary up to and including ``now``.
+
+        A boundary landing exactly on ``now`` is charged: the reference
+        timer for it was created a whole slice earlier, so whatever event
+        triggered this commit — a wake-up, an accounting read, a demoting
+        contender — was minted at the current instant with a higher
+        sequence number, and the reference had already fired and charged
+        by then.
+        """
+        t = self.t
+        accounting = self.scheduler.accounting
+        busy = accounting._busy
+        if not self.switch_done:
+            end = t + self.switch_seconds
+            if end > now:
+                return
+            key = (self.thread_name, OTHERS)
+            if key not in accounting._birth:
+                # Back-date to the boundary the reference charged it at:
+                # readers fold in birth order, so a late batched insert
+                # must not reorder the float sum (see _fold_order).
+                accounting._note_birth(key, end)
+            busy[key] += self.switch_seconds
+            t = end
+            self.switch_done = True
+        rem = self.rem
+        if rem > 0:
+            S = self.slice_cycles
+            freq = self.frequency_hz
+            key = (self.thread_name, self.category)
+            # .get, not [] — reading a defaultdict would mint a 0.0 entry
+            # for a burst that has not crossed a boundary yet, and the
+            # reference only creates keys on the first real charge.
+            total = busy.get(key, 0.0)
+            changed = False
+            while rem > 0:
+                burst = rem if rem < S else S
+                duration = burst / freq
+                end = t + duration
+                if end > now:
+                    break
+                if not changed and key not in accounting._birth:
+                    accounting._note_birth(key, end)
+                total += duration
+                t = end
+                rem = rem - burst
+                changed = True
+            if changed:
+                busy[key] = total
+            self.rem = rem
+        self.t = t
 
 
 class CpuScheduler:
@@ -73,11 +261,21 @@ class CpuScheduler:
         self._free_cores = cores
         self._waiting: Deque[Event] = deque()
         self._threads: list = []
+        #: Coalesced bursts currently holding a core (fast path only).
+        self._inflight: list = []
         #: Wakeups that paid the CFS wake-stacking delay (observability).
         self.stacked_wakeups = 0
         #: Optional :class:`repro.metrics.tracing.Tracer` for scheduler
         #: events ('sched' category: dispatch/preempt/stacked/complete).
         self.tracer = None
+        # Accounting reads must first charge the already-elapsed boundaries
+        # of any in-flight coalesced burst, or a measurement window ending
+        # mid-burst would miss busy time the reference path had charged.
+        accounting.add_settle_hook(self._settle_inflight)
+        # Stamp first charges with simulated time so the fast path's
+        # back-dated key births (see _Burst.commit) sort consistently
+        # against charges from other components.
+        accounting.set_clock(lambda: sim._now)
 
     # ------------------------------------------------------------- factories
     def thread(self, name: str) -> Thread:
@@ -100,6 +298,12 @@ class CpuScheduler:
         """cpufreq-set: change the clock for all subsequent bursts."""
         if frequency_hz <= 0:
             raise SimulationError(f"frequency must be positive: {frequency_hz}")
+        if self._inflight:
+            # Segments were folded at the old clock; cut them at the end of
+            # the interval currently in progress so every *later* slice is
+            # re-folded at the new frequency, exactly where the reference
+            # loop (which reads the clock at each slice start) would.
+            self._demote_inflight(freq_change=True)
         self.frequency_hz = frequency_hz
 
     def seconds(self, cycles: float) -> float:
@@ -115,6 +319,10 @@ class CpuScheduler:
             grant.succeed(None)
         else:
             self._waiting.append(grant)
+            if self._inflight:
+                # A contender appeared: every coalesced burst falls back to
+                # slice-granular round-robin at its next boundary.
+                self._demote_inflight()
         return grant
 
     def _release_core(self) -> None:
@@ -141,13 +349,105 @@ class CpuScheduler:
                 self._waiting.remove(grant)
             raise
 
+    # -------------------------------------------------- coalesced bookkeeping
+    def _demote_inflight(self, freq_change: bool = False) -> None:
+        """Reprogram every armed whole-burst timer to its next boundary.
+
+        Boundaries up to and *including* now are committed first.  A
+        demotion is triggered by an event created at the current instant
+        (a core waiter's grant, a governor call); the reference timer for
+        a boundary landing exactly at now was created a whole slice
+        earlier, so it fires — charges, checks an as-yet-empty wait queue,
+        and arms the next slice — before that triggering event.  The
+        replacement timer therefore cuts at the *next* boundary, never at
+        now.
+
+        ``freq_change`` demotes cut at the end of the interval currently
+        in progress — the dispatch switch or the current slice, whose
+        durations the reference loop had already fixed — because every
+        later slice must be re-folded at the new clock at the wake.
+        """
+        sim = self.sim
+        now = sim._now
+        candidates = []
+        for burst in self._inflight:
+            if burst.timer is None:
+                continue  # between segments (preempt dance in progress)
+            if burst.switch_end_wake:
+                # Already waking at the earliest safe boundary; the wake
+                # re-folds with fresh clock/queue state.
+                continue
+            if burst.armed_end == now:
+                # The timer fires at the current instant: it *is* the
+                # reference timer for this boundary, and its wake — later
+                # this instant, in reference seq order — performs the
+                # boundary check itself.  Reprogramming it here would skip
+                # that check.
+                continue
+            burst.commit(now)
+            candidates.append(burst)
+        # Replacement timers must be minted in the order the reference
+        # created the timers they stand in for — the start of each burst's
+        # in-progress interval (burst.t after the commit above).
+        # Two bursts re-armed at the same boundary instant then wake in
+        # the reference's order; _inflight (dispatch) order would not.
+        candidates.sort(key=lambda burst: (burst.t, burst.arm_seq))
+        for burst in candidates:
+            timer = burst.timer
+            if freq_change and not burst.switch_done:
+                boundary = burst.t + burst.switch_seconds
+                switch_end = True
+            elif freq_change and burst.rem > 0 and burst.t == now:
+                # Governor call lands exactly on a slice boundary: the
+                # next slice starts *now* at the new frequency (with the
+                # stale slice size, like the reference).  Wake at the
+                # current instant; the ordinary wake path re-folds so.
+                boundary = now
+                switch_end = False
+            else:
+                boundary = burst.next_boundary()
+                switch_end = False
+            if boundary == burst.armed_end:
+                burst.switch_end_wake = switch_end
+                continue  # already slice-granular
+            timer.cancel()
+            replacement = AbsoluteTimeout(sim, boundary)
+            burst.arm_seq = sim._seq
+            replacement.callbacks = timer.callbacks
+            timer.callbacks = None
+            burst.timer = replacement
+            burst.armed_end = boundary
+            burst.switch_end_wake = switch_end
+            proc = burst.proc
+            if proc is not None and proc._target is timer:
+                proc._target = replacement
+
+    def _settle_inflight(self) -> None:
+        """Accounting settle hook: charge elapsed coalesced boundaries."""
+        now = self.sim._now
+        for burst in self._inflight:
+            if burst.timer is not None:
+                burst.commit(now)
+
     # -------------------------------------------------------------- execution
     def execute(self, thread: Thread, cycles: float, category: str):
         """Generator implementing a CPU burst (see :meth:`Thread.run`)."""
+        if _legacy_slices or self.sim.sanitizer is not None:
+            return self._execute_sliced(thread, cycles, category)
+        return self._execute_fast(thread, cycles, category)
+
+    def _execute_sliced(self, thread: Thread, cycles: float, category: str):
+        """The slice-loop reference: one timer per time slice.
+
+        This is the pre-PR5 scheduler, kept verbatim as the semantic
+        reference for the coalesced fast path (``REPRO_LEGACY_SLICES=1``
+        selects it; sanitize mode always uses it).
+        """
         if cycles < 0:
             raise SimulationError(f"negative cycle count {cycles}")
         if cycles == 0:
             return
+        tracer = self.tracer
         with thread._mutex.acquire() as token:
             yield token
             remaining = float(cycles)
@@ -161,15 +461,15 @@ class CpuScheduler:
                                ** self.costs.wakeup_stacking_exponent)
                 if self._rng.random() < probability:
                     self.stacked_wakeups += 1
-                    if self.tracer is not None:
-                        self.tracer.record(self.sim.now, "sched", "stacked",
-                                           thread=thread.name, busy=busy)
+                    if tracer is not None and tracer.wants("sched"):
+                        tracer.record(self.sim.now, "sched", "stacked",
+                                      thread=thread.name, busy=busy)
                     yield self.sim.timeout(
                         self.costs.wakeup_stacking_delay_seconds)
             yield from self._acquire_core_or_abort()
-            if self.tracer is not None:
-                self.tracer.record(self.sim.now, "sched", "dispatch",
-                                   thread=thread.name, cycles=cycles)
+            if tracer is not None and tracer.wants("sched"):
+                tracer.record(self.sim.now, "sched", "dispatch",
+                              thread=thread.name, cycles=cycles)
             on_core = True
             try:
                 # Pay the dispatch context switch (accounted as "others").
@@ -187,10 +487,10 @@ class CpuScheduler:
                     remaining -= burst
                     if remaining > 0 and self._waiting:
                         # Round-robin: yield the core, rejoin the queue tail.
-                        if self.tracer is not None:
-                            self.tracer.record(self.sim.now, "sched",
-                                               "preempt", thread=thread.name,
-                                               remaining=remaining)
+                        if tracer is not None and tracer.wants("sched"):
+                            tracer.record(self.sim.now, "sched",
+                                          "preempt", thread=thread.name,
+                                          remaining=remaining)
                         self._release_core()
                         on_core = False
                         yield from self._acquire_core_or_abort()
@@ -205,7 +505,152 @@ class CpuScheduler:
                 if on_core:
                     self._release_core()
 
+    def _execute_fast(self, thread: Thread, cycles: float, category: str):
+        """Coalesced-burst fast path: one timer per uncontended segment.
+
+        Event-for-event equivalent to :meth:`_execute_sliced` with two
+        provably invisible eliminations:
+
+        * the zero-delay mutex-token and core-grant round-trips are skipped
+          when nothing else is scheduled at the current instant (the slot
+          is assigned synchronously either way; the round-trip only matters
+          when another same-instant event could interleave);
+        * intermediate slice-boundary wake-ups are skipped while no thread
+          waits for a core — their only effects (accounting charges, the
+          next private timer) are replayed exactly by the fold in
+          :class:`_Burst`, and :meth:`_demote_inflight` restores per-slice
+          preemption the moment a contender arrives.
+        """
+        if cycles < 0:
+            raise SimulationError(f"negative cycle count {cycles}")
+        if cycles == 0:
+            return
+        sim = self.sim
+        tracer = self.tracer
+        resource = thread._mutex._resource
+        heap = sim._heap
+        token = None
+        marker = None
+        if not resource._users and (not heap or heap[0][0] > sim._now):
+            # Mutex free and provably nothing can interleave: take the
+            # slot synchronously, skip the token round-trip.  The shared
+            # marker is safe: a capacity-1 resource holds at most one user,
+            # so no ``_users`` list ever contains it twice.
+            marker = _ELIDED
+            resource._users.append(marker)
+        else:
+            token = resource.request()
+        try:
+            if token is not None:
+                yield token
+            remaining = float(cycles)
+            busy = self.cores - self._free_cores
+            if busy > 0 and self.costs.wakeup_stacking_delay_seconds > 0:
+                probability = ((busy / self.cores)
+                               ** self.costs.wakeup_stacking_exponent)
+                if self._rng.random() < probability:
+                    self.stacked_wakeups += 1
+                    if tracer is not None and tracer.wants("sched"):
+                        tracer.record(sim.now, "sched", "stacked",
+                                      thread=thread.name, busy=busy)
+                    yield sim.timeout(
+                        self.costs.wakeup_stacking_delay_seconds)
+            on_core = False
+            if self._free_cores > 0 and (not heap or heap[0][0] > sim._now):
+                # Same elision for the grant round-trip.
+                self._free_cores -= 1
+                on_core = True
+            else:
+                yield from self._acquire_core_or_abort()
+                on_core = True
+            if tracer is not None and tracer.wants("sched"):
+                tracer.record(sim.now, "sched", "dispatch",
+                              thread=thread.name, cycles=cycles)
+            burst = _Burst(self, thread.name, category, sim._active_process)
+            self._inflight.append(burst)
+            try:
+                pending_switch = self.seconds(self.costs.context_switch_cycles)
+                slice_cycles = (self.costs.time_slice_seconds
+                                * self.frequency_hz)
+                while True:
+                    burst.begin_segment(sim._now, remaining, pending_switch,
+                                        slice_cycles, self.frequency_hz)
+                    # Born contended: arm only up to the first slice
+                    # boundary, exactly where the reference would preempt.
+                    end = (burst.next_boundary() if self._waiting
+                           else burst.segment_end())
+                    timer = AbsoluteTimeout(sim, end)
+                    burst.timer = timer
+                    burst.armed_end = end
+                    burst.arm_seq = sim._seq
+                    try:
+                        yield timer
+                    except BaseException:
+                        # Interrupt mid-segment: charge elapsed boundaries
+                        # (the in-flight partial slice is never charged,
+                        # matching the reference) and unwind.
+                        burst.timer = None
+                        burst.commit(sim._now)
+                        raise
+                    burst.timer = None
+                    burst.commit(sim._now)
+                    remaining = burst.rem
+                    if remaining <= 0.0:
+                        break
+                    if burst.switch_end_wake:
+                        # Frequency-change wake at the switch end: re-fold
+                        # the slices at the new clock; no preemption here
+                        # (the reference only preempts at slice ends).
+                        # Slice size is recomputed too — the reference
+                        # computes it after the switch yield, i.e. at the
+                        # already-changed frequency.
+                        burst.switch_end_wake = False
+                        pending_switch = 0.0
+                        slice_cycles = (self.costs.time_slice_seconds
+                                        * self.frequency_hz)
+                        continue
+                    if self._waiting:
+                        # Round-robin: yield the core, rejoin the queue
+                        # tail.  The reacquisition context switch merges
+                        # into the next segment's fold.
+                        if tracer is not None and tracer.wants("sched"):
+                            tracer.record(sim.now, "sched", "preempt",
+                                          thread=thread.name,
+                                          remaining=remaining)
+                        self._release_core()
+                        on_core = False
+                        yield from self._acquire_core_or_abort()
+                        on_core = True
+                        pending_switch = self.seconds(
+                            self.costs.context_switch_cycles)
+                        slice_cycles = (self.costs.time_slice_seconds
+                                        * self.frequency_hz)
+                    else:
+                        # Demoted without a contender left (frequency
+                        # change or drained queue): re-coalesce the rest.
+                        pending_switch = 0.0
+            finally:
+                self._inflight.remove(burst)
+                if on_core:
+                    self._release_core()
+        finally:
+            if marker is not None:
+                resource.release(marker)
+            elif token.triggered:
+                resource.release(token)
+            else:
+                resource.cancel(token)
+
     def __repr__(self) -> str:
         return (f"<CpuScheduler cores={self.cores} "
                 f"freq={self.frequency_hz/1e9:.1f}GHz "
                 f"busy={self.busy_cores} waiting={self.runnable_waiting}>")
+
+
+class _MARKER:
+    """Placeholder occupying a mutex slot taken via the elided fast path."""
+
+    __slots__ = ()
+
+
+_ELIDED = _MARKER()

@@ -50,44 +50,99 @@ class CpuAccounting:
 
     def __init__(self) -> None:
         self._busy: Dict[Tuple[str, str], float] = defaultdict(float)
+        self._settle_hooks: list = []
+        # (first-charge time, tie-break seq) per key; see _fold_order.
+        self._birth: Dict[Tuple[str, str], Tuple[float, int]] = {}
+        self._birth_seq = 0
+        self._clock: Optional[Callable[[], float]] = None
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Stamp first charges with simulated time (see :meth:`_fold_order`).
+
+        The CPU scheduler wires this to its simulator's clock so key birth
+        times are comparable with the coalesced fast path's back-dated
+        births; without a clock, births fall back to arrival order.
+        """
+        self._clock = clock
+
+    def add_settle_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callable run before every read.
+
+        The CPU scheduler's coalesced fast path charges lazily; its hook
+        folds the already-elapsed boundaries of in-flight bursts into
+        ``_busy`` so reads mid-burst see exactly what the per-slice
+        reference path would have charged by now.
+        """
+        self._settle_hooks.append(hook)
+
+    def _settle(self) -> None:
+        for hook in self._settle_hooks:
+            hook()
 
     def charge(self, thread_name: str, category: str, seconds: float) -> None:
         """Record ``seconds`` of busy CPU for ``thread_name`` in ``category``."""
         if seconds < 0:
             raise ValueError(f"negative busy time {seconds}")
-        self._busy[(thread_name, category)] += seconds
+        key = (thread_name, category)
+        if key not in self._birth:
+            self._note_birth(key, self._clock() if self._clock is not None
+                             else 0.0)
+        self._busy[key] += seconds
+
+    def _note_birth(self, key: Tuple[str, str], when: float) -> None:
+        self._birth[key] = (when, self._birth_seq)
+        self._birth_seq += 1
+
+    def _fold_order(self):
+        """``_busy`` items ordered by each key's first charge.
+
+        Float sums are order-sensitive, so every reader folds in a defined
+        order: the (time, arrival) at which each key was first charged.
+        For the per-slice reference this *is* dict insertion order; the
+        coalesced fast path charges a whole burst at its wake-up but
+        back-dates each key's birth to the boundary the reference would
+        have first charged it at, so both paths fold — and therefore
+        round — identically.
+        """
+        birth = self._birth
+        return sorted(self._busy.items(), key=lambda item: birth[item[0]])
 
     def total(self) -> float:
         """Total busy seconds across all threads and categories."""
-        return sum(self._busy.values())
+        self._settle()
+        return sum(seconds for _, seconds in self._fold_order())
 
     def by_category(self, threads: Optional[Iterable[str]] = None) -> Dict[str, float]:
         """Busy seconds per category, optionally restricted to ``threads``."""
+        self._settle()
         wanted = set(threads) if threads is not None else None
         out: Dict[str, float] = defaultdict(float)
-        for (thread_name, category), seconds in self._busy.items():
+        for (thread_name, category), seconds in self._fold_order():
             if wanted is None or thread_name in wanted:
                 out[category] += seconds
         return dict(out)
 
     def by_thread(self) -> Dict[str, float]:
         """Busy seconds per thread across all categories."""
+        self._settle()
         out: Dict[str, float] = defaultdict(float)
-        for (thread_name, _), seconds in self._busy.items():
+        for (thread_name, _), seconds in self._fold_order():
             out[thread_name] += seconds
         return dict(out)
 
     def snapshot(self) -> Dict[Tuple[str, str], float]:
         """Capture current totals (for later :meth:`since`)."""
-        return dict(self._busy)
+        self._settle()
+        return dict(self._fold_order())
 
     def since(self, mark: Mapping[Tuple[str, str], float]) -> "CpuAccounting":
         """Return a new accounting holding only activity after ``mark``."""
+        self._settle()
         delta = CpuAccounting()
-        for key, seconds in self._busy.items():
+        for key, seconds in self._fold_order():
             diff = seconds - mark.get(key, 0.0)
             if diff > 0:
-                delta._busy[key] = diff
+                delta.charge(key[0], key[1], diff)
         return delta
 
 
@@ -113,9 +168,10 @@ class FaultCounters:
     def count(self, name: str, **fields) -> int:
         """Increment ``name``; returns the new total for that name."""
         self._counts[name] += 1
-        if self.tracer is not None:
+        tracer = self.tracer
+        if tracer is not None and tracer.wants("fault"):
             now = self._clock() if self._clock is not None else 0.0
-            self.tracer.record(now, "fault", name, **fields)
+            tracer.record(now, "fault", name, **fields)
         return self._counts[name]
 
     def get(self, name: str) -> int:

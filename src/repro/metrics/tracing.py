@@ -9,11 +9,11 @@ its own.  Rendering produces a chronological, grep-friendly text trace.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Deque, Iterable, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One trace record."""
     time: float

@@ -1,0 +1,12 @@
+"""Profiling harness for the simulator (``python -m repro profile``).
+
+Wraps any registry experiment in cProfile (and optionally tracemalloc),
+combining the Python-level hot-function view with the kernel's own
+occupancy counters (events/sec, cancelled-timer ratio, heap high-water
+from :func:`repro.sim.kernel.kernel_stats`).  See
+:mod:`repro.perf.profiler` and ``docs/performance.md``.
+"""
+
+from repro.perf.profiler import ProfileReport, profile_experiment
+
+__all__ = ["ProfileReport", "profile_experiment"]

@@ -88,13 +88,13 @@ class Event:
 
     # ------------------------------------------------------------- triggering
     def _already_triggered_error(self) -> SimulationError:
-        sanitizer = getattr(self.sim, "sanitizer", None)
+        sanitizer = self.sim.sanitizer
         if sanitizer is not None:
             return sanitizer.double_trigger_error(self)
         return SimulationError(f"{self!r} already triggered")
 
     def _note_trigger(self) -> None:
-        sanitizer = getattr(self.sim, "sanitizer", None)
+        sanitizer = self.sim.sanitizer
         if sanitizer is not None:
             sanitizer.note_trigger(self)
 
@@ -108,7 +108,7 @@ class Event:
         # every message/grant/completion, so these two calls dominate the
         # kernel's per-event overhead.
         sim = self.sim
-        sanitizer = getattr(sim, "sanitizer", None)
+        sanitizer = sim.sanitizer
         if sanitizer is not None:
             sanitizer.note_trigger(self)
         if delay < 0:
@@ -173,7 +173,7 @@ class Timeout(Event):
         self._cancelled = False
         self._strace = None
         self.delay = delay
-        sanitizer = getattr(sim, "sanitizer", None)
+        sanitizer = sim.sanitizer
         if sanitizer is not None:
             sanitizer.note_trigger(self)
         sim._seq += 1
@@ -187,12 +187,48 @@ class Timeout(Event):
         by deadline timers whose guarded operation already completed, so a
         won race does not stretch the simulation's drain horizon.  Only
         call this when no process still depends on the timeout firing.
+
+        Cancelled entries are counted; once enough accumulate the kernel
+        compacts the heap so long chaos runs stop carrying dead timers.
         """
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            self.sim._note_cancelled()
 
     def __repr__(self) -> str:
         state = " cancelled" if self._cancelled else ""
         return f"<Timeout delay={self.delay}{state}>"
+
+
+class AbsoluteTimeout(Timeout):
+    """A timeout pinned to an absolute instant rather than a relative delay.
+
+    The CPU scheduler's coalesced-burst fast path re-arms timers onto
+    previously computed slice-fold boundaries; scheduling those as
+    ``now + (when - now)`` would not land exactly on ``when`` (float
+    addition is not associative), so this event takes the absolute fire
+    time and pushes it onto the heap verbatim.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", when: float, value: Any = None):  # noqa: F821
+        if when < sim._now:
+            raise SimulationError(
+                f"absolute timeout in the past ({when} < {sim._now})")
+        self.sim = sim
+        self.callbacks = []
+        self._ok = True
+        self._value = value
+        self._defused = False
+        self._cancelled = False
+        self._strace = None
+        self.delay = when - sim._now
+        sanitizer = sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.note_trigger(self)
+        sim._seq += 1
+        heappush(sim._heap, (when, sim._seq, self))
 
 
 class Condition(Event):

@@ -9,18 +9,51 @@ environment) arms the runtime sanitizer: non-monotonic clock advances,
 double-triggered events, leaked resource slots and deadlocked waiters then
 raise :class:`~repro.sim.events.SanitizerError` with a diagnostic naming
 the offending processes.  See :mod:`repro.sim.sanitizer`.
+
+The loop also keeps cheap occupancy statistics (events processed, cancelled
+timers discarded, heap high-water mark, compactions) that the profiling
+harness (``python -m repro profile``) reads via :func:`kernel_stats`.
 """
 
 from __future__ import annotations
 
 import os
-from heapq import heappop, heappush
-from typing import Any, Generator, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Dict, Generator, Optional
 
 from repro.sim.events import Event, SimulationError, Timeout
 from repro.sim.events import _PENDING as _EVENT_PENDING
 from repro.sim.process import Process
 from repro.sim.sanitizer import Sanitizer
+
+#: Cancelled-entry compaction: rebuild the heap once at least this many
+#: cancelled timers are outstanding *and* they make up half the heap.
+_COMPACT_MIN = 512
+
+#: Process-wide kernel counters, summed over every Simulator as its run
+#: loop exits (the profiling harness resets/reads these around a workload).
+_STATS: Dict[str, int] = {}
+
+
+def reset_kernel_stats() -> None:
+    """Zero the process-wide kernel counters (see :func:`kernel_stats`)."""
+    _STATS.update(simulators=0, events_processed=0, events_scheduled=0,
+                  cancelled_discarded=0, compactions=0, heap_high_water=0)
+
+
+def kernel_stats() -> Dict[str, int]:
+    """Process-wide kernel counters accumulated since the last reset.
+
+    ``events_scheduled`` counts heap pushes, ``events_processed`` counts
+    pops whose callbacks ran, ``cancelled_discarded`` counts withdrawn
+    timers dropped (at the head or by compaction), and ``heap_high_water``
+    is the largest heap size observed (sampled every 256 events, so it is
+    a close lower bound, not an exact maximum).
+    """
+    return dict(_STATS)
+
+
+reset_kernel_stats()
 
 
 class Simulator:
@@ -33,9 +66,18 @@ class Simulator:
         self._heap: list = []
         self._seq: int = 0
         self._active_process: Optional[Process] = None
+        #: Cancelled timers still sitting on the heap (compaction trigger).
+        self._ncancelled: int = 0
+        #: Per-simulator counters mirrored into the module totals on drain.
+        self.events_processed: int = 0
+        self.cancelled_discarded: int = 0
+        self.compactions: int = 0
+        self.heap_high_water: int = 0
+        self._flushed_seq: int = 0
         #: Runtime invariant checker; ``None`` unless sanitize mode is on.
         self.sanitizer: Optional[Sanitizer] = (
             Sanitizer(self) if sanitize else None)
+        _STATS["simulators"] += 1
 
     # ----------------------------------------------------------------- clock
     @property
@@ -69,83 +111,125 @@ class Simulator:
         self._seq += 1
         heappush(self._heap, (self._now + delay, self._seq, event))
 
-    def _step(self) -> None:
-        """Process the next event on the heap."""
-        when, _, event = heappop(self._heap)
-        if event._cancelled:
-            # A withdrawn timer (e.g. a deadline whose operation finished):
-            # discard without advancing the clock or running callbacks.
-            return
-        if self.sanitizer is not None and when < self._now:
-            raise self.sanitizer.non_monotonic_error(when)
-        self._now = when
-        callbacks = event.callbacks
-        event.callbacks = None
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not event._defused:
-            raise event._value
+    def schedule_at(self, when: float, event: Event) -> None:
+        """Place a triggered event on the heap at absolute time ``when``.
+
+        Unlike :meth:`_enqueue` this avoids the ``now + (when - now)``
+        round-trip, so a re-armed timer lands *exactly* on a previously
+        computed fold boundary (float addition is not associative).
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past ({when} < {self._now})")
+        self._seq += 1
+        heappush(self._heap, (when, self._seq, event))
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for :meth:`Timeout.cancel`; may compact the heap."""
+        n = self._ncancelled + 1
+        self._ncancelled = n
+        if n >= _COMPACT_MIN and n + n >= len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (in place: the run loops
+        hold a reference to the heap list)."""
+        heap = self._heap
+        live = [entry for entry in heap if not entry[2]._cancelled]
+        removed = len(heap) - len(live)
+        heap[:] = live
+        heapify(heap)
+        self._ncancelled = 0
+        self.compactions += 1
+        self.cancelled_discarded += removed
+        _STATS["compactions"] += 1
+        _STATS["cancelled_discarded"] += removed
 
     # ---------------------------------------------------------------- runner
-    def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap empties, or until simulated time ``until``.
+    def _drain(self, until: Optional[float] = None,
+               wait: Optional[Event] = None) -> bool:
+        """The one event-loop body behind :meth:`run` and
+        :meth:`run_until_complete`.
 
-        When ``until`` is given the clock is advanced exactly to it even if
-        no event fires at that instant.
+        Pops and fires events until the heap empties, the next event lies
+        beyond ``until``, or ``wait`` triggers.  Returns ``True`` if the
+        loop stopped because a bound was reached, ``False`` if the heap
+        drained dry.
         """
-        heap = self._heap
-        sanitizer = self.sanitizer
-        if until is not None:
-            if until < self._now:
-                raise SimulationError(
-                    f"until={until} is in the past (now={self._now})")
-            while heap and heap[0][0] <= until:
-                self._step()
-            self._now = until
-            return
-        # Inlined _step loop: one bound-method call per event is measurable
-        # at the multi-hundred-thousand-event scale of a sweep cell.
-        pop = heappop
-        while heap:
-            when, _, event = pop(heap)
-            if event._cancelled:
-                continue
-            if sanitizer is not None and when < self._now:
-                raise sanitizer.non_monotonic_error(when)
-            self._now = when
-            callbacks = event.callbacks
-            event.callbacks = None
-            for callback in callbacks:
-                callback(event)
-            if not event._ok and not event._defused:
-                raise event._value
-        if sanitizer is not None:
-            sanitizer.check_quiescence()
-
-    def run_until_complete(self, process: Process) -> Any:
-        """Run until ``process`` finishes; return its value (or re-raise)."""
         heap = self._heap
         sanitizer = self.sanitizer
         pop = heappop
         pending = _EVENT_PENDING
-        while process._value is pending:
-            if not heap:
-                if sanitizer is not None:
-                    raise sanitizer.deadlock_error(process)
+        processed = 0
+        discarded = 0
+        high_water = self.heap_high_water
+        try:
+            while heap:
+                if wait is not None and wait._value is not pending:
+                    return True
+                if until is not None and heap[0][0] > until:
+                    return True
+                when, _, event = pop(heap)
+                if event._cancelled:
+                    discarded += 1
+                    continue
+                if sanitizer is not None and when < self._now:
+                    raise sanitizer.non_monotonic_error(when)
+                self._now = when
+                processed += 1
+                if not processed & 255:
+                    size = len(heap)
+                    if size > high_water:
+                        high_water = size
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            return False
+        finally:
+            self.events_processed += processed
+            self.cancelled_discarded += discarded
+            self._ncancelled = max(0, self._ncancelled - discarded)
+            if high_water > self.heap_high_water:
+                self.heap_high_water = high_water
+            _STATS["events_processed"] += processed
+            _STATS["cancelled_discarded"] += discarded
+            _STATS["events_scheduled"] += self._seq - self._flushed_seq
+            self._flushed_seq = self._seq
+            if high_water > _STATS["heap_high_water"]:
+                _STATS["heap_high_water"] = high_water
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap empties, or until simulated time ``until``.
+
+        When ``until`` is given the clock is advanced exactly to it even if
+        no event fires at that instant.  In sanitize mode a drained heap is
+        checked for quiescence on *both* paths (a bounded run that outlives
+        every event must not hide leaked waiters).
+        """
+        if until is not None:
+            if until < self._now:
                 raise SimulationError(
-                    "event heap exhausted before process completed (deadlock?)")
-            when, _, event = pop(heap)
-            if event._cancelled:
-                continue
-            if sanitizer is not None and when < self._now:
-                raise sanitizer.non_monotonic_error(when)
-            self._now = when
-            callbacks = event.callbacks
-            event.callbacks = None
-            for callback in callbacks:
-                callback(event)
-            if not event._ok and not event._defused:
-                raise event._value
+                    f"until={until} is in the past (now={self._now})")
+            bounded = self._drain(until=until)
+            self._now = until
+            if not bounded and self.sanitizer is not None:
+                self.sanitizer.check_quiescence()
+            return
+        self._drain()
+        if self.sanitizer is not None:
+            self.sanitizer.check_quiescence()
+
+    def run_until_complete(self, process: Process) -> Any:
+        """Run until ``process`` finishes; return its value (or re-raise)."""
+        self._drain(wait=process)
+        if process._value is _EVENT_PENDING:
+            if self.sanitizer is not None:
+                raise self.sanitizer.deadlock_error(process)
+            raise SimulationError(
+                "event heap exhausted before process completed (deadlock?)")
         if not process.ok:
             process.defuse()
             raise process._value
@@ -153,9 +237,14 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')`` if none."""
-        while self._heap and self._heap[0][2]._cancelled:
-            heappop(self._heap)
-        return self._heap[0][0] if self._heap else float("inf")
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heappop(heap)
+            self.cancelled_discarded += 1
+            _STATS["cancelled_discarded"] += 1
+            if self._ncancelled:
+                self._ncancelled -= 1
+        return heap[0][0] if heap else float("inf")
 
     def __repr__(self) -> str:
         return f"<Simulator now={self._now} pending={len(self._heap)}>"

@@ -12,6 +12,7 @@ other by yielding them.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Generator, Optional
 
 from repro.sim.events import Event, Interrupt, SimulationError, Timeout
@@ -20,7 +21,8 @@ from repro.sim.events import Event, Interrupt, SimulationError, Timeout
 class Process(Event):
     """An event-yielding coroutine driven by the simulator."""
 
-    __slots__ = ("_generator", "_send", "_throw", "_target", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_target", "_relay",
+                 "name")
 
     def __init__(self, sim: "Simulator", generator: Generator):  # noqa: F821
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -33,6 +35,8 @@ class Process(Event):
         self._throw = generator.throw
         #: The event this process is currently waiting on (None if running).
         self._target: Optional[Event] = None
+        #: Reusable zero-delay relay (see _resume); one per process.
+        self._relay: Optional[Event] = None
         self.name = getattr(generator, "__name__", type(generator).__name__)
         if sim.sanitizer is not None:
             sim.sanitizer.register_process(self)
@@ -113,13 +117,25 @@ class Process(Event):
         else:
             # Already fired: resume immediately (at the current instant) so
             # yielding a processed event behaves like a zero-delay wait.
-            relay = Event(sim)
+            # The relay is private to this process and is processed before
+            # the next one can be needed, so one instance is reused — unless
+            # an interrupt detached us from it while it was still on the
+            # heap (callbacks not yet discarded), in which case it must not
+            # be re-armed and a fresh event is minted.
+            relay = self._relay
+            if relay is None or relay.callbacks is not None:
+                relay = Event(sim)
+                self._relay = relay
+            else:
+                relay.callbacks = []
+                relay._defused = False
             relay._ok = result._ok
             relay._value = result._value
             if not result._ok:
-                relay.defuse()
+                relay._defused = True
             relay.callbacks.append(self._resume)
-            sim._enqueue(0.0, relay)
+            sim._seq += 1
+            heappush(sim._heap, (sim._now, sim._seq, relay))
             self._target = relay
 
     def __repr__(self) -> str:

@@ -1,0 +1,210 @@
+"""Unit tests for the coalesced-burst scheduler fast path.
+
+The exhaustive cross-checking against the per-slice reference lives in
+``tests/properties/test_slice_equivalence.py``; these tests pin the
+individual mechanisms — whole-burst timers, contender demotion, the
+accounting settle hook, frequency-change re-folding, mutex/core ceremony
+elision, and the sanitize-mode routing back to the reference loop.
+"""
+
+import pytest
+
+from repro.hostmodel.costs import CostModel
+from repro.hostmodel.cpu import CpuScheduler, legacy_slices
+from repro.metrics.accounting import CpuAccounting, OTHERS
+from repro.sim import Interrupt, Simulator
+
+ZERO_SWITCH = CostModel().with_overrides(context_switch_cycles=0.0,
+                                         wakeup_stacking_delay_seconds=0.0)
+SHORT_SLICES = ZERO_SWITCH.with_overrides(time_slice_seconds=1e-4)
+
+
+def make_sched(cores=1, freq=1e9, costs=SHORT_SLICES, sanitize=False):
+    sim = Simulator(sanitize=sanitize)
+    acct = CpuAccounting()
+    sched = CpuScheduler(sim, cores, freq, acct, costs)
+    return sim, sched, acct
+
+
+def test_uncontended_burst_runs_as_one_timer():
+    # Pin the toggle: this test counts fast-path events and must hold even
+    # when the environment forces REPRO_LEGACY_SLICES=1 globally.
+    with legacy_slices(False):
+        sim, sched, acct = make_sched(freq=1e9)
+        thread = sched.thread("t")
+        # 1M cycles @ 1GHz with 100us slices = 10 slices; coalesced, the
+        # whole burst is at most a handful of kernel events instead of ~10.
+        def proc():
+            yield from thread.run(1_000_000, "work")
+
+        sim.run_until_complete(sim.process(proc()))
+        assert sim.now == pytest.approx(1e-3)
+        assert acct.by_category()["work"] == pytest.approx(1e-3)
+        assert sim.events_processed < 8
+
+
+def test_legacy_toggle_runs_every_slice():
+    with legacy_slices():
+        sim, sched, acct = make_sched(freq=1e9)
+        thread = sched.thread("t")
+
+        def proc():
+            yield from thread.run(1_000_000, "work")
+
+        sim.run_until_complete(sim.process(proc()))
+        assert sim.now == pytest.approx(1e-3)
+        assert sim.events_processed >= 10  # one wake per 100us slice
+
+
+def test_sanitize_mode_routes_to_reference_loop():
+    sim, sched, acct = make_sched(freq=1e9, sanitize=True)
+    thread = sched.thread("t")
+
+    def proc():
+        yield from thread.run(1_000_000, "work")
+
+    sim.run_until_complete(sim.process(proc()))
+    assert sim.now == pytest.approx(1e-3)
+    assert sim.events_processed >= 10  # slice-granular under the sanitizer
+    assert sched._inflight == []
+
+
+def test_mid_burst_accounting_read_settles_elapsed_boundaries():
+    sim, sched, acct = make_sched(freq=1e9)
+    thread = sched.thread("t")
+    readings = []
+
+    def worker():
+        yield from thread.run(1_000_000, "work")  # 1ms
+
+    def probe():
+        yield sim.timeout(0.00035)
+        readings.append(acct.total())
+
+    sim.process(worker())
+    sim.process(probe())
+    sim.run()
+    # At t=0.35ms three 100us slice boundaries have elapsed: the lazy burst
+    # must settle exactly those, not zero and not the whole 1ms.
+    assert readings == [pytest.approx(3e-4)]
+    assert acct.total() == pytest.approx(1e-3)
+
+
+def test_contender_arrival_demotes_to_round_robin():
+    sim, sched, acct = make_sched(cores=1, freq=1e9)
+    order = []
+
+    def worker(name, delay, cycles):
+        thread = sched.thread(name)
+        yield sim.timeout(delay)
+        yield from thread.run(cycles, "work")
+        order.append((name, sim.now))
+
+    sim.process(worker("early", 0.0, 1_000_000))
+    sim.process(worker("late", 0.00025, 300_000))
+    sim.run()
+    # The late arrival lands mid-burst; round-robin then interleaves the
+    # two, so the short burst finishes well before the long one.
+    assert [name for name, _ in sorted(order, key=lambda pair: pair[1])] \
+        == ["late", "early"]
+    assert acct.by_thread()["early"] == pytest.approx(1e-3)
+    assert acct.by_thread()["late"] == pytest.approx(3e-4)
+
+
+def test_set_frequency_mid_burst_refolds():
+    sim, sched, acct = make_sched(freq=1e9)
+    thread = sched.thread("t")
+    done = []
+
+    def worker():
+        yield from thread.run(1_000_000, "work")
+        done.append(sim.now)
+
+    def governor():
+        yield sim.timeout(0.0005)
+        sched.set_frequency(2e9)
+
+    sim.process(worker())
+    sim.process(governor())
+    sim.run()
+    # 0.5ms at 1GHz burns 500k cycles; the rest runs at 2GHz: 0.25ms more.
+    assert done == [pytest.approx(0.00075)]
+    assert acct.total() == pytest.approx(0.00075)
+
+
+def test_interrupt_mid_burst_charges_elapsed_time_only():
+    sim, sched, acct = make_sched(freq=1e9)
+    thread = sched.thread("t")
+    caught = []
+
+    def worker():
+        try:
+            yield from thread.run(1_000_000, "work")
+        except Interrupt:
+            caught.append(sim.now)
+
+    victim = sim.process(worker())
+
+    def sniper():
+        yield sim.timeout(0.00042)
+        victim.interrupt("test")
+
+    sim.process(sniper())
+    sim.run()
+    assert caught == [pytest.approx(0.00042)]
+    # Only boundaries that elapsed before the interrupt are charged — the
+    # reference loop would have charged exactly the four whole slices.
+    assert acct.total() == pytest.approx(4e-4)
+    assert sched._inflight == []
+
+
+def test_context_switch_cost_still_charged_to_others():
+    costs = CostModel().with_overrides(context_switch_cycles=1e6,
+                                       wakeup_stacking_delay_seconds=0.0)
+    sim, sched, acct = make_sched(freq=1e9, costs=costs)
+    thread = sched.thread("t")
+
+    def proc():
+        yield from thread.run(500_000, "work")
+
+    sim.run_until_complete(sim.process(proc()))
+    assert acct.by_category()[OTHERS] == pytest.approx(1e-3)
+    assert acct.by_category()["work"] == pytest.approx(5e-4)
+
+
+def test_mutex_released_after_elided_ceremony():
+    sim, sched, _ = make_sched()
+    thread = sched.thread("t")
+
+    def proc(tag):
+        yield from thread.run(1000, "work")
+
+    # Two sequential bursts on the same thread: the second can only acquire
+    # the per-thread mutex if the elided first acquisition was released.
+    def both():
+        yield from thread.run(1000, "work")
+        yield from thread.run(1000, "work")
+
+    sim.run_until_complete(sim.process(both()))
+    assert not thread._mutex._resource._users
+    assert sched._free_cores == sched.cores
+
+
+def test_fast_and_legacy_agree_on_contended_schedule():
+    def run(use_legacy):
+        with legacy_slices(use_legacy):
+            sim, sched, acct = make_sched(cores=2, freq=1e9)
+            finish = []
+
+            def worker(name, delay, cycles):
+                thread = sched.thread(name)
+                yield sim.timeout(delay)
+                yield from thread.run(cycles, "work")
+                finish.append((name, sim.now))
+
+            for i in range(4):
+                sim.process(worker(f"t{i}", i * 1e-4, 350_000 + i * 7))
+            sim.run()
+            return sim.now, sorted(finish), sorted(acct.snapshot().items())
+
+    assert run(False) == run(True)

@@ -104,3 +104,55 @@ def test_breakdown_drops_zero_categories():
     breakdown = UtilizationBreakdown(
         {CLIENT_APPLICATION: 0.0, VHOST_NET: 1.0}, window_seconds=10.0, cores=1)
     assert CLIENT_APPLICATION not in breakdown.utilization
+
+
+def test_fold_order_follows_first_charge_time():
+    # Readers fold float sums in birth order: (first-charge time, seq).
+    # With a clock wired, a key charged later in arrival order but at an
+    # earlier simulated time folds first.
+    acct = CpuAccounting()
+    now = [5.0]
+    acct.set_clock(lambda: now[0])
+    acct.charge("b", OTHERS, 0.25)       # born at t=5
+    now[0] = 2.0
+    acct.charge("a", OTHERS, 0.5)        # born at t=2: folds first
+    assert [key for key, _ in acct._fold_order()] \
+        == [("a", OTHERS), ("b", OTHERS)]
+
+
+def test_fold_order_without_clock_is_arrival_order():
+    acct = CpuAccounting()
+    acct.charge("z", OTHERS, 0.1)
+    acct.charge("a", OTHERS, 0.2)
+    assert [key for key, _ in acct._fold_order()] \
+        == [("z", OTHERS), ("a", OTHERS)]
+
+
+def test_birth_is_first_charge_only():
+    acct = CpuAccounting()
+    now = [1.0]
+    acct.set_clock(lambda: now[0])
+    acct.charge("t", OTHERS, 0.1)
+    now[0] = 9.0
+    acct.charge("t", OTHERS, 0.1)        # later charge: birth unchanged
+    assert acct._birth[("t", OTHERS)][0] == 1.0
+
+
+def test_since_preserves_relative_birth_order():
+    acct = CpuAccounting()
+    now = [3.0]
+    acct.set_clock(lambda: now[0])
+    acct.charge("b", OTHERS, 0.25)
+    now[0] = 1.0
+    acct.charge("a", OTHERS, 0.5)
+    delta = acct.since({})
+    assert [key for key, _ in delta._fold_order()] \
+        == [key for key, _ in acct._fold_order()]
+
+
+def test_zero_charge_mints_key():
+    # The scheduler charges a zero-cost context switch unconditionally;
+    # the key must appear in snapshots even with a 0.0 total.
+    acct = CpuAccounting()
+    acct.charge("t", OTHERS, 0.0)
+    assert acct.snapshot() == {("t", OTHERS): 0.0}

@@ -5,7 +5,7 @@ import pytest
 from repro.hostmodel.costs import CostModel
 from repro.hostmodel.cpu import CpuScheduler
 from repro.metrics.accounting import CpuAccounting
-from repro.metrics.tracing import Tracer
+from repro.metrics.tracing import TraceEvent, Tracer
 from repro.sim import Simulator
 
 
@@ -100,3 +100,30 @@ def test_scheduler_emits_stacked_events_under_load():
     stacked = sched.tracer.events(name="stacked")
     assert len(stacked) == sched.stacked_wakeups
     assert sched.stacked_wakeups > 0
+
+
+def test_trace_event_is_slotted():
+    event = TraceEvent(0.0, "test", "x")
+    assert not hasattr(event, "__dict__")
+    assert hasattr(type(event), "__slots__")
+
+
+def test_wants_reflects_category_filter():
+    assert Tracer().wants("anything")
+    tracer = Tracer(categories=["sched"])
+    assert tracer.wants("sched")
+    assert not tracer.wants("fault")
+
+
+def test_guarded_call_sites_record_identically():
+    # Call sites guard record() behind wants() to skip argument packing;
+    # the guard must be behavior-neutral — record() filters too.
+    guarded = Tracer(categories=["keep"])
+    unguarded = Tracer(categories=["keep"])
+    for i in range(10):
+        category = "keep" if i % 2 else "drop"
+        if guarded.wants(category):
+            guarded.record(float(i), category, "tick", i=i)
+        unguarded.record(float(i), category, "tick", i=i)
+    assert guarded.recorded == unguarded.recorded == 5
+    assert guarded.events() == unguarded.events()

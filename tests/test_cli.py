@@ -39,3 +39,27 @@ def test_every_listed_experiment_has_a_runner():
 
     for name in EXPERIMENTS:
         assert callable(_runner_for(name, quick=True))
+
+
+def test_profile_subcommand_runs(capsys, tmp_path):
+    out = tmp_path / "prof.json"
+    assert main(["profile", "fig03", "--quick", "--top", "3",
+                 "--json", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "events processed" in text
+    assert "hottest functions" in text
+    assert out.exists()
+
+
+def test_profile_unknown_experiment_suggests(capsys):
+    assert main(["profile", "fig0", "--quick"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    assert "did you mean" in err
+
+
+def test_registry_did_you_mean():
+    from repro.experiments import registry
+
+    with pytest.raises(KeyError, match="did you mean 'fig13'"):
+        registry.get("fig1")
