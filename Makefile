@@ -1,6 +1,6 @@
 # Convenience targets for the vRead reproduction.
 
-.PHONY: install test lint chaos bench bench-quick bench-pr5 bench-pr5-quick profile bench-tables report paper-report quick-report demo clean
+.PHONY: install test lint analyze chaos bench bench-quick bench-pr5 bench-pr5-quick profile bench-tables report paper-report quick-report demo clean
 
 install:
 	python setup.py develop
@@ -10,6 +10,13 @@ test:
 
 lint:
 	PYTHONPATH=src python -m repro.analysis src/repro
+
+# Whole-program analysis (per-module rules + cross-module taint/flow),
+# gated on the committed baseline, with the incremental cache warm.
+analyze:
+	PYTHONPATH=src python -m repro.analysis src/repro \
+		--baseline .simlint-baseline.json \
+		--cache .simlint-cache.json --stats
 
 chaos:
 	PYTHONPATH=src python -m pytest tests/faults -q

@@ -8,16 +8,28 @@ This package makes those conventions machine-checked:
 * an AST rule framework with a registry (:mod:`repro.analysis.core`);
 * per-line ``# simlint: disable=<rule>`` pragmas
   (:mod:`repro.analysis.pragmas`);
-* a CLI — ``python -m repro.analysis src/repro`` — that exits nonzero on
-  violations (:mod:`repro.analysis.cli`);
-* the built-in rules ``no-wallclock``, ``no-global-random``,
-  ``yield-discipline`` and ``resource-leak``
+* a **whole-program analyzer**: a project-wide import/call graph
+  (:mod:`repro.analysis.callgraph`) feeding interprocedural taint and
+  flow-aware yield-discipline passes (:mod:`repro.analysis.taint`) that
+  report full call chains — ``proc -> helper -> time.time`` with
+  file:line at every hop;
+* findings **baselines** (:mod:`repro.analysis.baseline`) so CI gates on
+  *new* findings only, JSON/SARIF emitters (:mod:`repro.analysis.emit`),
+  and a content-hash incremental cache (:mod:`repro.analysis.cache`);
+* a CLI — ``python -m repro.analysis src/repro`` — with stable exit
+  codes ``0`` clean / ``1`` findings / ``2`` error
+  (:mod:`repro.analysis.cli`);
+* the built-in per-module rules ``no-wallclock``, ``no-global-random``,
+  ``yield-discipline``, ``resource-leak`` and ``no-topology-literals``
   (:mod:`repro.analysis.rules`).
 
-The complementary *runtime* checks live in :mod:`repro.sim.sanitizer`
+The complementary *runtime* checks — including the lock-order deadlock
+detector — live in :mod:`repro.sim.sanitizer`
 (``Simulator(sanitize=True)``).  See ``docs/static_analysis.md``.
 """
 
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.callgraph import CallGraph, ModuleSummary, extract_module
 from repro.analysis.core import (
     LintContext,
     Rule,
@@ -27,17 +39,37 @@ from repro.analysis.core import (
     registered_rules,
 )
 from repro.analysis.pragmas import PragmaIndex
-from repro.analysis.runner import lint_file, lint_paths, lint_source
+from repro.analysis.runner import (
+    AnalysisResult,
+    AnalyzerStats,
+    analyze_paths,
+    discover_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.taint import WHOLE_PROGRAM_RULES, run_flow, run_taint
 
 __all__ = [
+    "AnalysisCache",
+    "AnalysisResult",
+    "AnalyzerStats",
+    "CallGraph",
     "LintContext",
+    "ModuleSummary",
     "PragmaIndex",
     "Rule",
     "Violation",
+    "WHOLE_PROGRAM_RULES",
+    "analyze_paths",
     "create_rules",
+    "discover_files",
+    "extract_module",
     "lint_file",
     "lint_paths",
     "lint_source",
     "register",
     "registered_rules",
+    "run_flow",
+    "run_taint",
 ]

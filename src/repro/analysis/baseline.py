@@ -1,0 +1,59 @@
+"""Findings baselines: gate CI on *new* findings only.
+
+A baseline file records the fingerprints of known, accepted findings.
+``python -m repro.analysis --baseline FILE`` subtracts them from the
+current run, so a tree with historical debt still fails the build the
+moment a *new* finding appears; ``--update-baseline`` rewrites the file
+to the current findings (the reviewed way to accept debt).
+
+Fingerprints (:meth:`repro.analysis.core.Violation.fingerprint`) exclude
+line numbers, so edits above a finding do not churn the baseline.  The
+committed baseline for ``src/`` is kept *empty* — the shipped tree is
+clean — and a test pins that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.core import Violation
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Dict[str, str]:
+    """``fingerprint -> rendered finding`` from a baseline file.
+
+    A missing file is an empty baseline; a malformed one raises
+    ``ValueError`` (silently ignoring a broken baseline would un-gate CI).
+    """
+    if not os.path.isfile(path):
+        return {}
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not a simlint baseline file")
+    findings = data["findings"]
+    if not isinstance(findings, dict):
+        raise ValueError(f"{path}: 'findings' must be an object")
+    return {str(k): str(v) for k, v in findings.items()}
+
+
+def save_baseline(path: str, violations: Sequence[Violation]) -> None:
+    """Write the fingerprints of ``violations`` as the new baseline."""
+    findings = {v.fingerprint(): v.render().splitlines()[0]
+                for v in sorted(violations)}
+    payload = {"version": BASELINE_VERSION, "findings": findings}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def filter_baselined(violations: Sequence[Violation],
+                     baseline: Dict[str, str]
+                     ) -> Tuple[List[Violation], int]:
+    """Split findings into (new, suppressed-count) against ``baseline``."""
+    fresh = [v for v in violations if v.fingerprint() not in baseline]
+    return fresh, len(violations) - len(fresh)

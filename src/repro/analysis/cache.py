@@ -1,0 +1,97 @@
+"""Content-hash incremental cache for the whole-program analyzer.
+
+A full-tree pass parses ~200 modules; in CI that cost recurs on every
+run even though almost nothing changed.  The cache stores, per file, the
+SHA-256 of its *content* together with the extracted
+:class:`~repro.analysis.callgraph.ModuleSummary` and the per-module rule
+findings.  On a later run a file whose hash (and the analyzer/rule
+configuration fingerprint) matches is loaded from the cache without
+re-parsing; cross-module linking and the interprocedural passes always
+re-run, but they operate on summaries and are cheap.
+
+The cache is a single JSON file (``--cache PATH``); a missing, corrupt,
+or version-skewed cache silently degrades to a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.callgraph import ModuleSummary
+from repro.analysis.core import Violation
+
+#: Bump to invalidate every existing cache (extraction format changes).
+CACHE_VERSION = 1
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class AnalysisCache:
+    """File-backed ``path -> (hash, summary, violations)`` store."""
+
+    def __init__(self, path: Optional[str],
+                 config_fingerprint: str = ""):
+        self.path = path
+        self.config_fingerprint = config_fingerprint
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._dirty = False
+        if path and os.path.isfile(path):
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    data = json.load(handle)
+                if (data.get("version") == CACHE_VERSION
+                        and data.get("config") == config_fingerprint):
+                    self._entries = data.get("files", {})
+            except (OSError, ValueError):
+                self._entries = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, path: str, source_hash: str
+            ) -> Optional[Tuple[ModuleSummary, List[Violation]]]:
+        """Cached summary + findings for ``path``, if content is unchanged."""
+        entry = self._entries.get(path)
+        if entry is None or entry.get("hash") != source_hash:
+            return None
+        try:
+            summary = ModuleSummary.from_dict(entry["summary"])
+            violations = [Violation.from_dict(v)
+                          for v in entry.get("violations", ())]
+        except (KeyError, TypeError, ValueError):
+            return None
+        return summary, violations
+
+    def put(self, path: str, source_hash: str, summary: ModuleSummary,
+            violations: List[Violation]) -> None:
+        self._entries[path] = {
+            "hash": source_hash,
+            "summary": summary.to_dict(),
+            "violations": [v.to_dict() for v in violations],
+        }
+        self._dirty = True
+
+    def prune(self, keep_paths) -> None:
+        """Drop entries for files no longer part of the analyzed set."""
+        keep = set(keep_paths)
+        stale = [p for p in self._entries if p not in keep]
+        for p in stale:
+            del self._entries[p]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self.path or not self._dirty:
+            return
+        payload = {"version": CACHE_VERSION,
+                   "config": self.config_fingerprint,
+                   "files": self._entries}
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, self.path)
+        self._dirty = False

@@ -9,22 +9,62 @@ suite discover them by name; per-line ``# simlint: disable=<rule>`` pragmas
 from __future__ import annotations
 
 import ast
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
 
 
 @dataclass(frozen=True, order=True)
 class Violation:
-    """One finding: a rule tripped at a specific source location."""
+    """One finding: a rule tripped at a specific source location.
+
+    Whole-program findings additionally carry a ``chain``: the call path
+    from the simulation entry point down to the offending call, as
+    ``(symbol, path, line)`` hops.  Per-module findings leave it empty.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    chain: Tuple[Tuple[str, str, int], ...] = ()
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+        if self.chain:
+            hops = "\n".join(f"    {symbol} ({path}:{line})"
+                             for symbol, path, line in self.chain)
+            text += "\n" + hops
+        return text
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Line numbers are deliberately excluded so unrelated edits above a
+        finding do not churn the baseline; chained findings key on the
+        symbols along the path, per-module findings on the message text.
+        """
+        anchor = ("->".join(symbol for symbol, _, _ in self.chain)
+                  if self.chain else self.message)
+        digest = hashlib.sha256(
+            f"{self.rule}|{self.path}|{anchor}".encode("utf-8")).hexdigest()
+        return digest[:20]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message,
+                "fingerprint": self.fingerprint(),
+                "chain": [[symbol, path, line]
+                          for symbol, path, line in self.chain]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Violation":
+        return cls(path=str(data["path"]), line=int(data["line"]),
+                   col=int(data["col"]), rule=str(data["rule"]),
+                   message=str(data["message"]),
+                   chain=tuple((str(s), str(p), int(l))
+                               for s, p, l in data.get("chain", ())))
 
 
 @dataclass

@@ -1,0 +1,253 @@
+"""Interprocedural impurity taint and flow-aware yield discipline.
+
+Two whole-program rule families run over the linked
+:class:`~repro.analysis.callgraph.CallGraph`:
+
+* **taint-*** — impurity sources (wall-clock reads, global randomness, OS
+  entropy, env-var reads outside the ``REPRO_*`` toggles, unordered set
+  iteration) are propagated backwards along call edges; any *simulation
+  entry point* (a generator the kernel can drive, or a function handed to
+  ``sim.process(...)``) that can transitively reach a source is reported
+  with the full call chain, file:line at every hop.
+* **flow-blocking** — the flow-aware yield-discipline pass: a kernel-driven
+  generator must suspend only through sim primitives, never by transitively
+  calling host-blocking helpers (``time.sleep``, ``subprocess``,
+  ``input()``, ``os.system``, ``select.select``, ...).
+
+Suppression composes with the usual pragmas: a finding is dropped if *any*
+hop of its chain carries ``# simlint: disable=<rule>``, or if any involved
+file disables the rule file-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.callgraph import CallEdge, CallGraph, ModuleSummary
+from repro.analysis.core import Violation
+from repro.analysis.rules.wallclock import BANNED_CALLS as _WALLCLOCK_CALLS
+
+# ------------------------------------------------------------ source catalog
+#: Source kind -> taint rule name.
+TAINT_RULES: Dict[str, str] = {
+    "wallclock": "taint-wallclock",
+    "random": "taint-random",
+    "entropy": "taint-entropy",
+    "env": "taint-env",
+    "unordered": "taint-unordered",
+}
+
+#: The flow family (kind -> rule name).
+FLOW_RULES: Dict[str, str] = {
+    "blocking": "flow-blocking",
+}
+
+#: Every whole-program rule name, for --list-rules and pragma validation.
+WHOLE_PROGRAM_RULES: Dict[str, str] = {
+    "taint-wallclock": ("sim-reachable code transitively reads the host "
+                        "clock (interprocedural no-wallclock)"),
+    "taint-random": ("sim-reachable code transitively draws from global "
+                     "randomness (interprocedural no-global-random)"),
+    "taint-entropy": ("sim-reachable code transitively reads OS entropy "
+                      "(os.urandom, uuid.uuid1/uuid4, secrets)"),
+    "taint-env": ("sim-reachable code transitively reads environment "
+                  "variables outside the REPRO_* toggles"),
+    "taint-unordered": ("sim-reachable code transitively iterates an "
+                        "unordered set, making visit order id-dependent"),
+    "flow-blocking": ("a kernel-driven generator transitively calls a "
+                      "host-blocking helper; suspend only via sim "
+                      "primitives (sim.timeout, events, resources)"),
+}
+
+_ENTROPY_CALLS = frozenset({
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbits", "secrets.randbelow", "secrets.choice",
+})
+
+_ENV_READ_CALLS = frozenset({"os.getenv", "os.environ.get"})
+
+_BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "builtins.input",
+    "os.system", "os.wait", "os.waitpid",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "select.select", "select.poll",
+    "socket.create_connection",
+    "signal.pause",
+})
+
+
+def _env_key_allowed(node: ast.Call) -> bool:
+    """True when the env read names a literal ``REPRO_*`` toggle."""
+    if not node.args:
+        return False
+    key = node.args[0]
+    return (isinstance(key, ast.Constant) and isinstance(key.value, str)
+            and key.value.startswith("REPRO_"))
+
+
+def classify_call(target: str, node: ast.Call) -> Optional[Tuple[str, str]]:
+    """``(kind, description)`` when a resolved call is a direct source."""
+    if target in _WALLCLOCK_CALLS:
+        if target == "time.sleep":
+            # sleep is both irreproducible and host-blocking; the flow
+            # family owns it so one call does not yield twin findings.
+            return ("blocking", target)
+        return ("wallclock", target)
+    if target in _BLOCKING_CALLS:
+        return ("blocking", target)
+    if target in _ENTROPY_CALLS:
+        return ("entropy", target)
+    if target in _ENV_READ_CALLS:
+        if _env_key_allowed(node):
+            return None
+        return ("env", target)
+    if target.startswith("random."):
+        if target == "random.Random":
+            if not node.args and not node.keywords:
+                return ("random", "random.Random()")
+            return None
+        if target.startswith("random.SystemRandom"):
+            return ("random", target)
+        return ("random", target)
+    return None
+
+
+# ------------------------------------------------------------- propagation
+#: A chain hop: (symbol, path, line) — the line is where the hop's symbol
+#: is *invoked from* (call site), except the first hop which is the entry
+#: point's definition site.
+Hop = Tuple[str, str, int]
+
+
+def _propagate(graph: CallGraph,
+               kinds: Iterable[str]) -> Dict[str, Dict[str, Tuple[int, object]]]:
+    """Backward BFS from direct sources along reverse call edges.
+
+    Returns ``kind -> {function qualname: (depth, step)}`` where ``step``
+    is either a direct-source witness ``("<source>", desc, line)`` or the
+    forward edge to follow for chain reconstruction.
+    """
+    result: Dict[str, Dict[str, Tuple[int, object]]] = {}
+    for kind in kinds:
+        tainted: Dict[str, Tuple[int, object]] = {}
+        queue: deque = deque()
+        for qualname in sorted(graph.functions):
+            func = graph.functions[qualname]
+            witnesses = [s for s in func.sources if s[0] == kind]
+            if witnesses:
+                witness = min(witnesses, key=lambda s: s[2])
+                tainted[qualname] = (1, ("<source>", witness[1], witness[2]))
+                queue.append(qualname)
+        while queue:
+            current = queue.popleft()
+            depth, _ = tainted[current]
+            for edge in sorted(graph.callers(current),
+                               key=lambda e: (e.caller, e.lineno)):
+                if edge.caller in tainted:
+                    continue
+                tainted[edge.caller] = (depth + 1, edge)
+                queue.append(edge.caller)
+        result[kind] = tainted
+    return result
+
+
+def _chain_for(graph: CallGraph, entry: str,
+               tainted: Dict[str, Tuple[int, object]]) -> List[Hop]:
+    """Reconstruct the shortest entry -> source chain as rendered hops.
+
+    Each function hop is located at the call site of the *next* hop, so
+    the chain reads ``a (a.py:12) -> b (b.py:34) -> time.time (b.py:35)``
+    straight down the call path; the terminal hop is the source call.
+    """
+    hops: List[Hop] = []
+    current = entry
+    for _ in range(256):
+        _, step = tainted[current]
+        if isinstance(step, CallEdge):
+            hops.append((current, graph.path_of(current), step.lineno))
+            current = step.callee
+            continue
+        _, desc, line = step  # ("<source>", description, lineno)
+        hops.append((current, graph.path_of(current), line))
+        hops.append((desc, graph.path_of(current), line))
+        break
+    return hops
+
+
+#: A pragma for the per-module sibling rule at the *source* call site also
+#: suppresses the chained finding: one reviewed ``disable=no-wallclock``
+#: should not need a twin ``disable=taint-wallclock``.
+_SIBLING_MODULE_RULE = {
+    "taint-wallclock": "no-wallclock",
+    "taint-random": "no-global-random",
+}
+
+
+def _suppressed(graph: CallGraph, rule: str, chain: Sequence[Hop]) -> bool:
+    """True if any hop's pragma (or any involved file) disables ``rule``."""
+    by_path: Dict[str, ModuleSummary] = {
+        mod.path: mod for mod in graph.modules.values()}
+    sibling = _SIBLING_MODULE_RULE.get(rule)
+    for index, (_, path, line) in enumerate(chain):
+        mod = by_path.get(path)
+        if mod is None:
+            continue
+        if mod.pragmas.is_disabled(line, rule):
+            return True
+        if (sibling is not None and index >= len(chain) - 2
+                and mod.pragmas.is_disabled(line, sibling)):
+            return True
+    return False
+
+
+def _render_chain(chain: Sequence[Hop]) -> str:
+    return " -> ".join(symbol for symbol, _, _ in chain)
+
+
+def _findings_for(graph: CallGraph, entries: Sequence[str],
+                  rules: Dict[str, str], what: str) -> List[Violation]:
+    by_kind = _propagate(graph, rules.keys())
+    findings: List[Violation] = []
+    for kind, rule in sorted(rules.items()):
+        tainted = by_kind[kind]
+        for entry in entries:
+            if entry not in tainted:
+                continue
+            chain = _chain_for(graph, entry, tainted)
+            if _suppressed(graph, rule, chain):
+                continue
+            source_desc = chain[-1][0]
+            findings.append(Violation(
+                path=graph.path_of(entry),
+                line=chain[0][2], col=1, rule=rule,
+                message=(f"{what} {entry!r} reaches {source_desc} via "
+                         f"{_render_chain(chain)}"),
+                chain=tuple(chain)))
+    return sorted(findings)
+
+
+def run_taint(graph: CallGraph) -> List[Violation]:
+    """The taint-* family: impurity reachable from simulation entries."""
+    entries = graph.entry_points()
+    return _findings_for(graph, entries, TAINT_RULES,
+                         "sim entry point")
+
+
+def run_flow(graph: CallGraph) -> List[Violation]:
+    """The flow-blocking family: blocking helpers reachable from
+    kernel-driven generators."""
+    entries = [q for q in graph.entry_points()
+               if graph.functions[q].is_generator]
+    return _findings_for(graph, entries, FLOW_RULES,
+                         "kernel-driven generator")
+
+
+def run_whole_program(modules: Sequence[ModuleSummary]) -> List[Violation]:
+    """Link ``modules`` and run both whole-program families."""
+    graph = CallGraph(modules)
+    return sorted(run_taint(graph) + run_flow(graph))

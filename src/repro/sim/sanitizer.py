@@ -13,7 +13,13 @@ invariants.  The sanitizer watches four hazard classes:
 * **leaked resource slots** — the event heap drains while a
   :class:`~repro.sim.resources.Resource` slot is still held;
 * **deadlock** — the event heap drains while requests are still queued on
-  a resource (the waiters can never be woken).
+  a resource (the waiters can never be woken);
+* **lock-order inversion** — a process requests resource B while holding
+  resource A after some process has already acquired A while holding B
+  (any cycle length).  This is the lockdep-style *would-be* deadlock
+  check: it fires at the inverted acquisition, naming both chains with
+  their owning processes, **before** the simulation wedges — the post-hoc
+  quiescence check above only triggers once the heap has drained.
 
 Every failure raises :class:`~repro.sim.events.SanitizerError` carrying a
 readable diagnostic that names the owning/waiting processes.
@@ -24,7 +30,7 @@ and resource), so it is off by default and intended for tests and CI.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.sim.events import Event, SanitizerError
 
@@ -41,6 +47,15 @@ class Sanitizer:
         self.sim = sim
         self._resources: List["Resource"] = []
         self._processes: List["Process"] = []
+        # ---- lock-order detector state ----
+        #: owner -> resources currently held, in acquisition order.
+        self._held: Dict[object, List["Resource"]] = {}
+        #: id(A) -> {id(B): (process name, t)}: some process acquired (or
+        #: requested) B while holding A.  Edges accumulate for the whole
+        #: simulation — order discipline is global, not per-instant.
+        self._order: Dict[int, Dict[int, Tuple[str, float]]] = {}
+        #: id(resource) -> resource, to render cycle reports.
+        self._res_by_id: Dict[int, "Resource"] = {}
 
     # ---------------------------------------------------------- registration
     def register_resource(self, resource: "Resource") -> None:
@@ -77,6 +92,100 @@ class Sanitizer:
         return SanitizerError(
             f"non-monotonic clock advance: popped an event scheduled at "
             f"t={when:g} while the clock already reads t={self.sim.now:g}")
+
+    # ----------------------------------------------------------- lock order
+    def note_lock_request(self, resource: "Resource",
+                          request: "Request") -> None:
+        """A process asks for ``resource`` (granted or queued).
+
+        Records the acquisition-order edge ``held -> resource`` for every
+        resource the requesting process already holds, and reports a
+        would-be deadlock the moment an edge closes a cycle in the global
+        acquisition-order graph — i.e. at the *inverted* acquisition,
+        before any process actually wedges.
+        """
+        owner = request.owner
+        if owner is None:
+            return
+        held = self._held.get(owner)
+        if not held:
+            return
+        for prior in held:
+            if prior is resource:
+                continue  # re-entrant semaphore acquire: no ordering edge
+            self._add_order_edge(prior, resource, owner)
+
+    def note_lock_acquired(self, resource: "Resource",
+                           request: "Request") -> None:
+        """``request`` now holds a slot on ``resource``."""
+        owner = request.owner
+        if owner is None:
+            return
+        self._res_by_id[id(resource)] = resource
+        self._held.setdefault(owner, []).append(resource)
+
+    def note_lock_released(self, resource: "Resource",
+                           request: "Request") -> None:
+        """``request``'s slot on ``resource`` was released."""
+        owner = request.owner
+        if owner is None:
+            return
+        held = self._held.get(owner)
+        if not held:
+            return
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] is resource:
+                del held[index]
+                break
+        if not held:
+            del self._held[owner]
+
+    def _add_order_edge(self, first: "Resource", then: "Resource",
+                        owner: object) -> None:
+        edges = self._order.setdefault(id(first), {})
+        if id(then) in edges:
+            return
+        self._res_by_id[id(first)] = first
+        self._res_by_id[id(then)] = then
+        cycle = self._find_path(id(then), id(first))
+        if cycle is not None:
+            raise self._lock_order_error(first, then, owner, cycle)
+        edges[id(then)] = (self._process_name(owner), self.sim.now)
+
+    def _find_path(self, start: int, goal: int) -> Optional[List[int]]:
+        """Node ids along an existing order path ``start -> ... -> goal``."""
+        stack: List[Tuple[int, List[int]]] = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for nxt in self._order.get(node, {}):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    def _lock_order_error(self, first: "Resource", then: "Resource",
+                          owner: object, cycle: List[int]) -> SanitizerError:
+        lines = [
+            f"lock-order inversion (would-be deadlock) at t={self.sim.now:g}:"
+            f" process {self._process_name(owner)!r} requests {then!r} while"
+            f" holding {first!r}, but the opposite order is already"
+            f" established:",
+            f"  this chain:  {self._process_name(owner)!r} holds {first!r},"
+            f" requests {then!r} at t={self.sim.now:g}",
+        ]
+        for here, nxt in zip(cycle, cycle[1:]):
+            proc, when = self._order[here][nxt]
+            lines.append(
+                f"  prior chain: {proc!r} held"
+                f" {self._res_by_id[here]!r}, then acquired"
+                f" {self._res_by_id[nxt]!r} at t={when:g}")
+        lines.append(
+            "  acquiring these resources in a consistent global order"
+            " removes the deadlock")
+        return SanitizerError("\n".join(lines))
 
     # ----------------------------------------------------------- quiescence
     def _held_slots(self) -> List[Tuple["Resource", "Request"]]:

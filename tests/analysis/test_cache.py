@@ -1,0 +1,121 @@
+"""Content-hash incremental caching: zero re-parses on unchanged trees."""
+
+import textwrap
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.runner import analyze_paths
+
+
+def _write_tree(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "a.py").write_text(textwrap.dedent("""\
+        from pkg.b import helper
+
+        def proc(sim):
+            h = helper()
+            yield sim.timeout(h)
+        """))
+    (pkg / "b.py").write_text("def helper():\n    return 1\n")
+    return pkg
+
+
+def test_second_run_does_zero_reparses(tmp_path):
+    """Acceptance: an unchanged tree is analyzed entirely from the cache."""
+    pkg = _write_tree(tmp_path)
+    cache_file = str(tmp_path / "cache.json")
+
+    cache = AnalysisCache(cache_file, "cfg")
+    first = analyze_paths([str(pkg)], cache=cache)
+    cache.save()
+    assert first.stats.parsed == 3
+    assert first.stats.cache_hits == 0
+
+    cache = AnalysisCache(cache_file, "cfg")
+    second = analyze_paths([str(pkg)], cache=cache)
+    assert second.stats.parsed == 0
+    assert second.stats.cache_hits == 3
+    # The cached run produces identical findings and graph shape.
+    assert second.violations == first.violations
+    assert second.stats.functions == first.stats.functions
+    assert second.stats.call_edges == first.stats.call_edges
+
+
+def test_touched_file_is_reparsed_alone(tmp_path):
+    pkg = _write_tree(tmp_path)
+    cache_file = str(tmp_path / "cache.json")
+    cache = AnalysisCache(cache_file, "cfg")
+    analyze_paths([str(pkg)], cache=cache)
+    cache.save()
+
+    (pkg / "b.py").write_text("def helper():\n    return 2\n")
+    cache = AnalysisCache(cache_file, "cfg")
+    result = analyze_paths([str(pkg)], cache=cache)
+    assert result.stats.parsed == 1
+    assert result.stats.cache_hits == 2
+
+
+def test_config_change_invalidates_cache(tmp_path):
+    pkg = _write_tree(tmp_path)
+    cache_file = str(tmp_path / "cache.json")
+    cache = AnalysisCache(cache_file, "cfg-a")
+    analyze_paths([str(pkg)], cache=cache)
+    cache.save()
+
+    cache = AnalysisCache(cache_file, "cfg-b")
+    result = analyze_paths([str(pkg)], cache=cache)
+    assert result.stats.parsed == 3
+
+
+def test_corrupt_cache_degrades_to_cold_run(tmp_path):
+    pkg = _write_tree(tmp_path)
+    cache_file = tmp_path / "cache.json"
+    cache_file.write_text("{not json")
+    cache = AnalysisCache(str(cache_file), "cfg")
+    result = analyze_paths([str(pkg)], cache=cache)
+    assert result.stats.parsed == 3
+    cache.save()  # and saving over the corrupt file works
+    cache = AnalysisCache(str(cache_file), "cfg")
+    assert analyze_paths([str(pkg)], cache=cache).stats.parsed == 0
+
+
+def test_removed_file_pruned_from_cache(tmp_path):
+    pkg = _write_tree(tmp_path)
+    cache_file = str(tmp_path / "cache.json")
+    cache = AnalysisCache(cache_file, "cfg")
+    analyze_paths([str(pkg)], cache=cache)
+    cache.save()
+    assert len(cache) == 3
+
+    (pkg / "b.py").unlink()
+    cache = AnalysisCache(cache_file, "cfg")
+    analyze_paths([str(pkg)], cache=cache)
+    assert len(cache) == 2
+
+
+def test_whole_program_findings_survive_caching(tmp_path):
+    """Taint chains must be identical when every module loads from cache."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "m.py").write_text(textwrap.dedent("""\
+        import time
+
+        def helper():
+            return time.time()
+
+        def proc(sim):
+            h = helper()
+            yield sim.timeout(1)
+        """))
+    cache_file = str(tmp_path / "cache.json")
+    cache = AnalysisCache(cache_file, "cfg")
+    first = analyze_paths([str(pkg)], cache=cache)
+    cache.save()
+    cache = AnalysisCache(cache_file, "cfg")
+    second = analyze_paths([str(pkg)], cache=cache)
+    assert second.stats.parsed == 0
+    taint = [v for v in second.violations if v.rule == "taint-wallclock"]
+    assert len(taint) == 1
+    assert second.violations == first.violations

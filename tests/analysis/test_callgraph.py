@@ -1,0 +1,190 @@
+"""The project-wide import/call graph: extraction, linking, entries."""
+
+import ast
+import os
+import textwrap
+
+from repro.analysis.callgraph import (CallGraph, ModuleSummary,
+                                      extract_module, module_name_for)
+
+
+def _summary(source, path="mod.py", modname=None):
+    tree = ast.parse(textwrap.dedent(source))
+    return extract_module(path, textwrap.dedent(source), tree,
+                          modname=modname)
+
+
+def _write_pkg(tmp_path, files):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for name, source in files.items():
+        (pkg / name).write_text(textwrap.dedent(source))
+    return pkg
+
+
+def _graph_for(tmp_path, files):
+    pkg = _write_pkg(tmp_path, files)
+    modules = []
+    for name in sorted(files) + ["__init__.py"]:
+        path = str(pkg / name)
+        with open(path) as handle:
+            source = handle.read()
+        modules.append(extract_module(path, source, ast.parse(source)))
+    return CallGraph(modules)
+
+
+# ------------------------------------------------------------- module names
+def test_module_name_walks_packages(tmp_path):
+    pkg = tmp_path / "top" / "sub"
+    pkg.mkdir(parents=True)
+    (tmp_path / "top" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text("")
+    assert module_name_for(str(pkg / "mod.py")) == "top.sub.mod"
+    assert module_name_for(str(pkg / "__init__.py")) == "top.sub"
+
+
+def test_module_name_outside_packages(tmp_path):
+    path = tmp_path / "script.py"
+    path.write_text("")
+    assert module_name_for(str(path)) == "script"
+
+
+# -------------------------------------------------------------- extraction
+def test_extract_records_functions_methods_and_generators():
+    summary = _summary("""\
+        class Worker:
+            def run(self):
+                yield self.step()
+            def step(self):
+                return 1
+        def helper():
+            return 2
+        """, modname="m")
+    assert set(summary.functions) == {"m.Worker.run", "m.Worker.step",
+                                      "m.helper"}
+    assert summary.functions["m.Worker.run"].is_generator
+    assert not summary.functions["m.helper"].is_generator
+    assert summary.classes["m.Worker"].methods == {
+        "run": "m.Worker.run", "step": "m.Worker.step"}
+
+
+def test_nested_def_yield_does_not_make_parent_generator():
+    summary = _summary("""\
+        def outer():
+            def inner():
+                yield 1
+            return inner
+        """, modname="m")
+    assert not summary.functions["m.outer"].is_generator
+
+
+def test_relative_import_resolves_against_package():
+    summary = _summary("from .helpers import jitter\n",
+                       modname="pkg.procs")
+    assert summary.exports["jitter"] == "pkg.helpers.jitter"
+
+
+def test_self_calls_and_spawns_recorded():
+    summary = _summary("""\
+        class Daemon:
+            def start(self, sim):
+                sim.process(self._serve())
+            def _serve(self):
+                yield None
+        """, modname="m")
+    start = summary.functions["m.Daemon.start"]
+    assert ("self._serve", 3) in start.calls
+    assert start.spawns == [("self._serve", 3)]
+
+
+# ----------------------------------------------------------------- linking
+def test_cross_module_edges_and_reexport_following(tmp_path):
+    graph = _graph_for(tmp_path, {
+        "a.py": """\
+            from pkg.b import helper
+            def caller():
+                return helper()
+            """,
+        "b.py": """\
+            def helper():
+                return inner()
+            def inner():
+                return 1
+            """,
+    })
+    edges = {(e.caller, e.callee) for c in graph.edges.values() for e in c}
+    assert ("pkg.a.caller", "pkg.b.helper") in edges
+    assert ("pkg.b.helper", "pkg.b.inner") in edges
+
+
+def test_reexport_through_package_init(tmp_path):
+    pkg = _write_pkg(tmp_path, {
+        "impl.py": "def deep():\n    return 1\n",
+    })
+    (pkg / "__init__.py").write_text("from pkg.impl import deep\n")
+    (pkg / "user.py").write_text(
+        "import pkg\ndef caller():\n    return pkg.deep()\n")
+    modules = []
+    for name in ("__init__.py", "impl.py", "user.py"):
+        path = str(pkg / name)
+        source = open(path).read()
+        modules.append(extract_module(path, source, ast.parse(source)))
+    graph = CallGraph(modules)
+    edges = {(e.caller, e.callee) for c in graph.edges.values() for e in c}
+    assert ("pkg.user.caller", "pkg.impl.deep") in edges
+
+
+def test_method_resolution_through_base_class(tmp_path):
+    graph = _graph_for(tmp_path, {
+        "base.py": """\
+            class Base:
+                def helper(self):
+                    return 1
+            """,
+        "child.py": """\
+            from pkg.base import Base
+            class Child(Base):
+                def run(self):
+                    return self.helper()
+            """,
+    })
+    edges = {(e.caller, e.callee) for c in graph.edges.values() for e in c}
+    assert ("pkg.child.Child.run", "pkg.base.Base.helper") in edges
+
+
+def test_entry_points_are_generators_and_spawned_targets(tmp_path):
+    graph = _graph_for(tmp_path, {
+        "m.py": """\
+            def proc(sim):
+                yield sim.timeout(1)
+            def plain(sim):
+                return 1
+            def boot(sim):
+                sim.process(plain(sim))
+            """,
+    })
+    entries = graph.entry_points()
+    assert "pkg.m.proc" in entries      # generator
+    assert "pkg.m.plain" in entries     # spawned
+    assert "pkg.m.boot" not in entries
+
+
+def test_import_graph_restricted_to_analyzed_modules(tmp_path):
+    graph = _graph_for(tmp_path, {
+        "a.py": "import os\nfrom pkg import b\n",
+        "b.py": "",
+    })
+    assert "pkg.b" in graph.import_graph["pkg.a"]
+    assert "os" not in graph.import_graph["pkg.a"]
+
+
+def test_unresolvable_attribute_calls_are_dropped(tmp_path):
+    graph = _graph_for(tmp_path, {
+        "m.py": """\
+            def run(obj):
+                return obj.execute()
+            """,
+    })
+    assert graph.edges.get("pkg.m.run") is None

@@ -1,0 +1,288 @@
+"""Interprocedural taint and flow-blocking passes over seeded fixtures."""
+
+import textwrap
+
+from repro.analysis.runner import analyze_paths
+
+
+def _write_pkg(tmp_path, files):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for name, source in files.items():
+        (pkg / name).write_text(textwrap.dedent(source))
+    return pkg
+
+
+def _findings(tmp_path, files, rule=None):
+    pkg = _write_pkg(tmp_path, files)
+    result = analyze_paths([str(pkg)])
+    found = result.violations
+    if rule is not None:
+        found = [v for v in found if v.rule == rule]
+    return found
+
+
+# --------------------------------------------------------------- acceptance
+def test_multi_hop_chain_across_two_modules(tmp_path):
+    """The seeded fixture: process -> helper -> helper -> time.time,
+    spanning two modules, reported with file:line at every hop."""
+    findings = _findings(tmp_path, {
+        "procs.py": """\
+            from pkg.helpers import jitter
+
+            def reader(sim):
+                delay = jitter()
+                yield sim.timeout(delay)
+            """,
+        "helpers.py": """\
+            import time
+
+            def jitter():
+                return scaled()
+
+            def scaled():
+                return time.time() % 1.0
+            """,
+    }, rule="taint-wallclock")
+    assert len(findings) == 1
+    finding = findings[0]
+    symbols = [symbol for symbol, _, _ in finding.chain]
+    assert symbols == ["pkg.procs.reader", "pkg.helpers.jitter",
+                       "pkg.helpers.scaled", "time.time"]
+    # Every hop carries its call-site file:line.
+    paths = [path for _, path, _ in finding.chain]
+    assert paths[0].endswith("procs.py")
+    assert all(p.endswith("helpers.py") for p in paths[1:])
+    lines = [line for _, _, line in finding.chain]
+    assert lines == [4, 4, 7, 7]
+    # The rendered finding shows the chain, one hop per line.
+    rendered = finding.render()
+    assert "pkg.helpers.jitter" in rendered
+    assert "helpers.py:7" in rendered
+    assert ("pkg.procs.reader -> pkg.helpers.jitter -> pkg.helpers.scaled"
+            " -> time.time") in finding.message
+
+
+# ------------------------------------------------------------ taint sources
+def test_entropy_source_via_os_urandom(tmp_path):
+    findings = _findings(tmp_path, {
+        "m.py": """\
+            import os
+
+            def token():
+                return os.urandom(8)
+
+            def proc(sim):
+                t = token()
+                yield sim.timeout(1)
+            """,
+    }, rule="taint-entropy")
+    assert len(findings) == 1
+    assert "os.urandom" in findings[0].message
+
+
+def test_env_read_outside_repro_toggles_flagged(tmp_path):
+    findings = _findings(tmp_path, {
+        "m.py": """\
+            import os
+
+            def mode():
+                return os.environ.get("HADOOP_MODE")
+
+            def proc(sim):
+                m = mode()
+                yield sim.timeout(1)
+            """,
+    }, rule="taint-env")
+    assert len(findings) == 1
+
+
+def test_repro_toggle_env_read_allowed(tmp_path):
+    findings = _findings(tmp_path, {
+        "m.py": """\
+            import os
+
+            def mode():
+                return os.environ.get("REPRO_SANITIZE")
+
+            def proc(sim):
+                m = mode()
+                yield sim.timeout(1)
+            """,
+    }, rule="taint-env")
+    assert findings == []
+
+
+def test_unordered_set_iteration_flagged(tmp_path):
+    findings = _findings(tmp_path, {
+        "m.py": """\
+            def visit(items):
+                for item in set(items):
+                    pass
+
+            def proc(sim):
+                visit([1, 2])
+                yield sim.timeout(1)
+            """,
+    }, rule="taint-unordered")
+    assert len(findings) == 1
+
+
+def test_global_random_taint(tmp_path):
+    findings = _findings(tmp_path, {
+        "m.py": """\
+            import random
+
+            def draw():
+                return random.random()
+
+            def proc(sim):
+                d = draw()
+                yield sim.timeout(1)
+            """,
+    }, rule="taint-random")
+    assert len(findings) == 1
+
+
+def test_seeded_random_not_a_source(tmp_path):
+    findings = _findings(tmp_path, {
+        "m.py": """\
+            import random
+
+            def stream(seed):
+                return random.Random(seed)
+
+            def proc(sim):
+                s = stream(7)
+                yield sim.timeout(1)
+            """,
+    }, rule="taint-random")
+    assert findings == []
+
+
+def test_unreachable_impurity_not_reported(tmp_path):
+    # A helper nobody sim-reachable calls produces no taint finding
+    # (the per-module no-wallclock rule still covers the direct call).
+    findings = _findings(tmp_path, {
+        "m.py": """\
+            import time
+
+            def orphan():
+                return time.time()
+
+            def proc(sim):
+                yield sim.timeout(1)
+            """,
+    }, rule="taint-wallclock")
+    assert findings == []
+
+
+# ----------------------------------------------------------- flow-blocking
+def test_flow_blocking_through_helper(tmp_path):
+    findings = _findings(tmp_path, {
+        "m.py": """\
+            import time
+
+            def settle():
+                time.sleep(0.1)
+
+            def poller(sim):
+                settle()
+                yield sim.timeout(1)
+            """,
+    }, rule="flow-blocking")
+    assert len(findings) == 1
+    assert "time.sleep" in findings[0].message
+
+
+def test_sim_timeout_is_not_blocking(tmp_path):
+    findings = _findings(tmp_path, {
+        "m.py": """\
+            def proc(sim):
+                yield sim.timeout(5)
+            """,
+    }, rule="flow-blocking")
+    assert findings == []
+
+
+def test_subprocess_reachable_from_generator_flagged(tmp_path):
+    findings = _findings(tmp_path, {
+        "m.py": """\
+            import subprocess
+
+            def shell(cmd):
+                return subprocess.run(cmd)
+
+            def proc(sim):
+                shell(["ls"])
+                yield sim.timeout(1)
+            """,
+    }, rule="flow-blocking")
+    assert len(findings) == 1
+
+
+# -------------------------------------------------------------- suppression
+def test_pragma_at_source_hop_suppresses_chain(tmp_path):
+    findings = _findings(tmp_path, {
+        "m.py": """\
+            import time
+
+            def helper():
+                return time.time()  # simlint: disable=taint-wallclock
+
+            def proc(sim):
+                h = helper()
+                yield sim.timeout(1)
+            """,
+    }, rule="taint-wallclock")
+    assert findings == []
+
+
+def test_sibling_no_wallclock_pragma_also_suppresses_taint(tmp_path):
+    findings = _findings(tmp_path, {
+        "m.py": """\
+            import time
+
+            def helper():
+                return time.time()  # simlint: disable=no-wallclock
+
+            def proc(sim):
+                h = helper()
+                yield sim.timeout(1)
+            """,
+    }, rule="taint-wallclock")
+    assert findings == []
+
+
+def test_pragma_at_entry_call_site_suppresses_chain(tmp_path):
+    findings = _findings(tmp_path, {
+        "m.py": """\
+            import time
+
+            def helper():
+                return time.time()
+
+            def proc(sim):
+                h = helper()  # simlint: disable=taint-wallclock
+                yield sim.timeout(1)
+            """,
+    }, rule="taint-wallclock")
+    assert findings == []
+
+
+def test_file_wide_disable_suppresses_chain(tmp_path):
+    findings = _findings(tmp_path, {
+        "m.py": """\
+            # simlint: disable-file=taint-wallclock
+            import time
+
+            def helper():
+                return time.time()
+
+            def proc(sim):
+                h = helper()
+                yield sim.timeout(1)
+            """,
+    }, rule="taint-wallclock")
+    assert findings == []
