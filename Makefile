@@ -1,6 +1,6 @@
 # Convenience targets for the vRead reproduction.
 
-.PHONY: install test lint analyze chaos bench bench-quick bench-pr5 bench-pr5-quick profile bench-tables report paper-report quick-report demo clean
+.PHONY: install test lint analyze chaos bench bench-quick bench-pr5 bench-pr5-quick load-smoke load-bench profile bench-tables report paper-report quick-report demo clean
 
 install:
 	python setup.py develop
@@ -33,6 +33,15 @@ bench-pr5:
 
 bench-pr5-quick:
 	PYTHONPATH=src python benchmarks/perf/bench_pr5.py --quick --out BENCH_pr5.json
+
+# Open-loop load harness: RSS-flatness + jobs-N determinism gates
+# (see docs/load.md); load-smoke is the CI profile.
+load-smoke:
+	PYTHONPATH=src python benchmarks/perf/bench_pr7.py --quick --out BENCH_pr7.json
+	PYTHONPATH=src python -m pytest tests/load tests/metrics/test_sinks.py -q
+
+load-bench:
+	PYTHONPATH=src python benchmarks/perf/bench_pr7.py --out BENCH_pr7.json
 
 # Usage: make profile [EXP=fig11] [PROFILE_FLAGS="--quick --memory"]
 EXP ?= fig11

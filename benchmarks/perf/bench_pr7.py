@@ -1,0 +1,215 @@
+"""PR 7 performance harness: streaming SLO metrics under open-loop load.
+
+Measures, each phase in a fresh subprocess (clean RSS high-water mark):
+
+* **RSS flatness** — a synthetic open-loop run with 10^4 samples vs one
+  with 10^6 samples.  The streaming sinks are the only per-request state,
+  so the gate requires the million-sample run's peak RSS to stay below
+  1.15x the small run's: memory must be bounded by the sketch, not the
+  sample count.
+* **Determinism** — the ``load-sweep`` experiment at ``--jobs 1`` vs
+  ``--jobs 4`` (canonical JSON must be byte-identical), plus a repeated
+  synthetic run (same seed, same digest; different seed, different
+  digest).
+* **Sink throughput** — samples/second through the full TenantSlo path
+  (LogHistogram + two WindowedCounters), the per-request overhead every
+  load experiment pays.
+
+Writes BENCH_pr7.json (see docs/performance.md) and exits non-zero if
+any gate fails — CI runs this with ``--quick``.
+
+Wall-clock use is deliberate and allowed here: this file measures the
+*host* runtime of the harness, it is not simulation code (simlint scans
+``src/repro`` only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import platform
+import resource
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..",
+                                "src"))
+
+RSS_FLATNESS_LIMIT = 1.15
+
+
+def _measure_in_child(target, kwargs, conn):
+    started = time.monotonic()
+    payload = target(**kwargs)
+    elapsed = time.monotonic() - started
+    max_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    conn.send({"wall_s": round(elapsed, 3), "max_rss_mb":
+               round(max_rss_kb / 1024, 1), "payload": payload})
+    conn.close()
+
+
+def measure(target, **kwargs):
+    """Run ``target(**kwargs)`` in a fresh process; return timing + result.
+
+    A subprocess per measurement keeps one phase's RSS high-water mark
+    from contaminating the next — essential for the flatness gate.
+    """
+    parent, child = multiprocessing.Pipe(duplex=False)
+    proc = multiprocessing.Process(target=_measure_in_child,
+                                   args=(target, kwargs, child))
+    proc.start()
+    child.close()
+    result = parent.recv()
+    proc.join()
+    if proc.exitcode != 0:
+        raise RuntimeError(f"benchmark child failed: {target.__name__}")
+    return result
+
+
+# ----------------------------------------------------------- child workloads
+def _synthetic_run(samples, seed):
+    """One tenant, ``samples`` open-loop requests, streamed into sinks."""
+    from repro.load import LoadGenerator, default_tenants
+
+    rate = 10_000.0
+    duration = samples / rate
+    tenants = default_tenants(1, rate=rate, deadline_seconds=0.005,
+                              n_keys=64)
+    report = LoadGenerator(tenants, seed=seed).run_synthetic(duration)
+    row = report.tenant("tenant1")
+    return {"completions": row.completions, "digest": report.digest(),
+            "p99_ms": row.p99_ms}
+
+
+def _load_sweep_json(jobs):
+    from repro.experiments import runner
+
+    params = {"rates": (30.0, 60.0), "duration": 0.8, "n_tenants": 2,
+              "request_bytes": 64 << 10, "deadline_ms": 2.0,
+              "arrival_kind": "bursty"}
+    result = runner.run_experiment("load-sweep", jobs=jobs, seed=7,
+                                   params=params)
+    return runner.canonical_json(result)
+
+
+def _sink_throughput(samples):
+    """Raw samples/s through the full TenantSlo record path."""
+    from repro.load.slo import TenantSlo
+
+    slo = TenantSlo("bench", deadline_seconds=0.005)
+    started = time.monotonic()
+    record, note = slo.record, slo.note_arrival
+    for index in range(samples):
+        note()
+        t = index * 1e-4
+        record(t, t + 3e-3 + (index % 7) * 1e-3)
+    elapsed = time.monotonic() - started
+    return {"samples": samples, "wall_s": round(elapsed, 3),
+            "samples_per_s": round(samples / elapsed)}
+
+
+# ------------------------------------------------------------------- phases
+def phase_rss_flatness(report, failures):
+    small = measure(_synthetic_run, samples=10_000, seed=1)
+    large = measure(_synthetic_run, samples=1_000_000, seed=1)
+    ratio = large["max_rss_mb"] / small["max_rss_mb"]
+    entry = {
+        "samples_small": small["payload"]["completions"],
+        "samples_large": large["payload"]["completions"],
+        "rss_small_mb": small["max_rss_mb"],
+        "rss_large_mb": large["max_rss_mb"],
+        "rss_ratio": round(ratio, 3),
+        "limit": RSS_FLATNESS_LIMIT,
+        "wall_small_s": small["wall_s"],
+        "wall_large_s": large["wall_s"],
+    }
+    report["rss_flatness"] = entry
+    if ratio >= RSS_FLATNESS_LIMIT:
+        failures.append(
+            f"RSS not flat: 1e6-sample run used {ratio:.2f}x the memory "
+            f"of the 1e4-sample run (limit {RSS_FLATNESS_LIMIT}x)")
+    if large["payload"]["completions"] < 990_000:
+        failures.append("1e6-sample run produced suspiciously few samples: "
+                        f"{large['payload']['completions']}")
+    print(f"  rss: 1e4 samples {small['max_rss_mb']}MB, 1e6 samples "
+          f"{large['max_rss_mb']}MB (ratio {ratio:.2f}, "
+          f"limit {RSS_FLATNESS_LIMIT})")
+
+
+def phase_determinism(report, failures, quick):
+    repeat = measure(_synthetic_run, samples=50_000, seed=3)
+    again = measure(_synthetic_run, samples=50_000, seed=3)
+    other = measure(_synthetic_run, samples=50_000, seed=4)
+    same = repeat["payload"]["digest"] == again["payload"]["digest"]
+    different = repeat["payload"]["digest"] != other["payload"]["digest"]
+    report["synthetic_determinism"] = {
+        "repeat_identical": same, "seed_sensitive": different}
+    if not same:
+        failures.append("synthetic run not reproducible for a fixed seed")
+    if not different:
+        failures.append("synthetic run ignores its seed")
+
+    serial = measure(_load_sweep_json, jobs=1)
+    parallel = measure(_load_sweep_json, jobs=2 if quick else 4)
+    identical = serial["payload"] == parallel["payload"]
+    report["load_sweep_jobs"] = {
+        "byte_identical": identical,
+        "wall_serial_s": serial["wall_s"],
+        "wall_parallel_s": parallel["wall_s"],
+        "json_bytes": len(serial["payload"]),
+    }
+    if not identical:
+        failures.append("load-sweep --jobs N diverged from the serial run")
+    print(f"  determinism: synthetic repeat={same}, "
+          f"load-sweep jobs byte-identical={identical}")
+
+
+def phase_throughput(report, quick):
+    samples = 200_000 if quick else 1_000_000
+    result = measure(_sink_throughput, samples=samples)
+    report["sink_throughput"] = result["payload"]
+    print(f"  sink throughput: "
+          f"{result['payload']['samples_per_s']:,} samples/s")
+
+
+# --------------------------------------------------------------------- main
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller determinism/throughput phases (CI)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report to PATH")
+    args = parser.parse_args(argv)
+
+    report = {
+        "bench": "pr7-streaming-slo-metrics",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    failures = []
+    print("RSS flatness (streaming sinks, open-loop synthetic run):")
+    phase_rss_flatness(report, failures)
+    print("Determinism gates:")
+    phase_determinism(report, failures, args.quick)
+    print("Sink throughput:")
+    phase_throughput(report, args.quick)
+
+    report["failures"] = failures
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,6 @@ passed as ``ClusterConfig(topology=...)``.
 from __future__ import annotations
 
 import difflib
-import warnings
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import Dict, List, Optional, Union
 
@@ -304,20 +303,6 @@ class VirtualHadoopCluster:
             f"{[d.datanode_id for d in self.datanodes]}")
 
     # ------------------------------------------------------------------ client
-    def client(self) -> Union[DfsClient, VReadDfsClient]:
-        """Deprecated alias for ``cluster.clients.get()``."""
-        warnings.warn("cluster.client() is deprecated; use "
-                      "cluster.clients.get()", DeprecationWarning,
-                      stacklevel=2)
-        return self.clients.get()
-
-    def vanilla_client(self) -> DfsClient:
-        """Deprecated alias for ``cluster.clients.get(mode='vanilla')``."""
-        warnings.warn("cluster.vanilla_client() is deprecated; use "
-                      "cluster.clients.get(mode='vanilla')",
-                      DeprecationWarning, stacklevel=2)
-        return self.clients.get(mode="vanilla")
-
     def add_client_vm(self, name: str,
                       host_index: int = 0) -> VirtualMachine:
         """Add another client VM after construction.
@@ -329,13 +314,6 @@ class VirtualHadoopCluster:
         vm = VirtualMachine(self.hosts[host_index], name)
         self.client_vms.append(vm)
         return vm
-
-    def client_for(self, vm: VirtualMachine):
-        """Deprecated alias for ``cluster.clients.get(vm=vm)``."""
-        warnings.warn("cluster.client_for(vm) is deprecated; use "
-                      "cluster.clients.get(vm=vm)", DeprecationWarning,
-                      stacklevel=2)
-        return self.clients.get(vm=vm)
 
     # ------------------------------------------------------------------- runs
     def run(self, process):

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Sequence
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import load_dataset, warn_deprecated_main
+from repro.experiments.common import load_dataset
 from repro.hostmodel.costs import CostModel
 from repro.metrics.report import Table
 from repro.storage.content import PatternSource
@@ -67,17 +67,3 @@ def run(file_bytes: int = 32 << 20,
     """Run the experiment; see the module docstring for the setup."""
     cells = {size: _measure(size, file_bytes) for size in cache_sizes}
     return CacheSizeResult(cells, file_bytes)
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run ablation-cache-size``."""
-    warn_deprecated_main("ablation_cache_size", "ablation-cache-size")
-    result = run()
-    print(result.render())
-    small = min(result.cells)
-    print(f"  cache smaller than the working set ⇒ re-reads regress toward "
-          f"cold speed ({result.cells[small]:.0f} MB/s)")
-
-
-if __name__ == "__main__":
-    main()

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import load_dataset, warn_deprecated_main
+from repro.experiments.common import load_dataset
 from repro.metrics.report import Table
 from repro.storage.content import PatternSource
 
@@ -68,17 +68,3 @@ def run(file_bytes: int = 32 << 20) -> DirectReadResult:
     bypass = _measure(True, file_bytes)
     return DirectReadResult({"mounted host FS": mounted,
                              "bypass host FS": bypass})
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run ablation-direct-read``."""
-    warn_deprecated_main("ablation_direct_read", "ablation-direct-read")
-    result = run()
-    print(result.render())
-    print(f"  re-read penalty of bypassing the host FS: "
-          f"{result.warm_penalty_pct:.0f}% — the paper's stated reason for "
-          f"preferring the mount-based design")
-
-
-if __name__ == "__main__":
-    main()

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Sequence
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import load_dataset, warn_deprecated_main
+from repro.experiments.common import load_dataset
 from repro.metrics.report import Table
 from repro.storage.content import PatternSource
 
@@ -63,14 +63,3 @@ def run(file_bytes: int = 32 << 20,
                for packet in packet_sizes}
     vread_reference = _measure(None, True, file_bytes)
     return PacketSizeResult(vanilla, vread_reference)
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run ablation-packet-size``."""
-    warn_deprecated_main("ablation_packet_size", "ablation-packet-size")
-    result = run()
-    print(result.render())
-
-
-if __name__ == "__main__":
-    main()

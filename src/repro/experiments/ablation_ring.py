@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import load_dataset, warn_deprecated_main
+from repro.experiments.common import load_dataset
 from repro.metrics.report import Table
 from repro.storage.content import PatternSource
 
@@ -67,17 +67,3 @@ def run(file_bytes: int = 32 << 20,
         for chunk in chunk_sizes:
             cells[(slots, chunk)] = _measure(slots, chunk, file_bytes)
     return RingResult(cells)
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run ablation-ring``."""
-    warn_deprecated_main("ablation_ring", "ablation-ring")
-    result = run()
-    print(result.render())
-    (slots, chunk), mbps = result.best()
-    print(f"  best: {slots} slots x {chunk >> 10}KB chunks "
-          f"({mbps:.0f} MB/s)")
-
-
-if __name__ == "__main__":
-    main()

@@ -12,7 +12,7 @@ from typing import Dict, Tuple
 
 from repro.cluster import VirtualHadoopCluster
 from repro.experiments.common import (
-    daemon_view, load_dataset, warn_deprecated_main)
+    daemon_view, load_dataset)
 from repro.metrics.report import Table
 from repro.storage.content import PatternSource
 
@@ -72,16 +72,3 @@ def run(file_bytes: int = 32 << 20) -> TransportResult:
         "rdma": _measure("rdma", file_bytes),
         "tcp": _measure("tcp", file_bytes),
     })
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run ablation-transport``."""
-    warn_deprecated_main("ablation_transport", "ablation-transport")
-    result = run()
-    print(result.render())
-    print(f"  TCP daemons burn {result.cpu_ratio:.1f}x the CPU of RDMA "
-          f"for the same remote reads")
-
-
-if __name__ == "__main__":
-    main()

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import FigureResult, warn_deprecated_main
+from repro.experiments.common import FigureResult
 from repro.faults import VReadClientPolicy
 from repro.faults.chaos import random_plan
 from repro.storage.content import PatternSource
@@ -109,14 +109,3 @@ def run(seeds: Optional[Sequence[int]] = None, cases: int = 6,
     outcomes = [run_case(seed, file_bytes=file_bytes, faults=faults,
                          horizon=horizon) for seed in seeds]
     return assemble(outcomes, file_bytes=file_bytes)
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run chaos-sweep``."""
-    warn_deprecated_main("chaos_sweep", "chaos-sweep")
-    result = run()
-    print(result.render())
-
-
-if __name__ == "__main__":
-    main()

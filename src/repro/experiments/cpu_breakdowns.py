@@ -28,7 +28,7 @@ from repro.experiments.common import (
     daemon_view,
     datanode_view,
     load_dataset,
-    warn_deprecated_main)
+)
 from repro.storage.content import PatternSource
 
 
@@ -128,17 +128,3 @@ def run_fig08(file_bytes: int = 64 << 20,
     """Fig 8: remote read, TCP daemon transport."""
     return _run("Fig 8", "remote", "tcp", file_bytes, request_bytes,
                 "remote read with TCP")
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run fig06``."""
-    warn_deprecated_main("cpu_breakdowns", "fig06")
-    for runner in (run_fig06, run_fig07, run_fig08):
-        result = runner(file_bytes=32 << 20)
-        print(result.render())
-        print(f"  client CPU saving: {result.client_saving_pct():.1f}%  "
-              f"serving-side saving: {result.serving_saving_pct():.1f}%\n")
-
-
-if __name__ == "__main__":
-    main()

@@ -10,11 +10,11 @@ in all cases because of device-virtualization copies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Sequence
 
 from repro.cluster import VirtualHadoopCluster
 from repro.experiments.common import (
-    FigureResult, load_dataset, warn_deprecated_main)
+    FigureResult, load_dataset)
 from repro.storage.content import PatternSource
 from repro.workloads.filereader import FileReadBenchmark
 
@@ -33,9 +33,8 @@ class Fig02Result:
         return self.no_cache.render() + "\n\n" + self.cache.render()
 
 
-def _measure(file_bytes: int, request_bytes: int, cached: bool
-             ) -> Tuple[float, float]:
-    """Returns (inter-VM mean delay, local mean delay) in milliseconds."""
+def _measure(file_bytes: int, request_bytes: int, cached: bool):
+    """Returns (inter-VM, local) per-request delay sinks (SummaryStats)."""
     cluster = VirtualHadoopCluster(block_size=max(file_bytes, 1 << 20))
     payload = PatternSource(file_bytes, seed=2)
     load_dataset(cluster, "/fig2/data", payload, favored=["dn1"])
@@ -45,12 +44,12 @@ def _measure(file_bytes: int, request_bytes: int, cached: bool
     def run_local():
         bench = FileReadBenchmark(request_bytes)
         yield from bench.read_local(cluster.client_vm, "/data/file")
-        return bench.mean_delay
+        return bench.delays
 
     def run_hdfs():
         bench = FileReadBenchmark(request_bytes)
         yield from bench.read_hdfs(cluster.clients.get(mode="vanilla"), "/fig2/data")
-        return bench.mean_delay
+        return bench.delays
 
     results = []
     for runner in (run_hdfs, run_local):
@@ -60,7 +59,7 @@ def _measure(file_bytes: int, request_bytes: int, cached: bool
             cluster.drop_all_caches()
         results.append(cluster.run(cluster.sim.process(runner())))
     inter_vm, local = results
-    return inter_vm * 1e3, local * 1e3
+    return inter_vm, local
 
 
 def run(file_bytes: int = 16 << 20,
@@ -74,24 +73,15 @@ def run(file_bytes: int = 16 << 20,
             iv, lc = _measure(file_bytes, request_bytes, cached)
             inter_vm.append(iv)
             local.append(lc)
-        figures[tag] = FigureResult(
+        figures[tag] = FigureResult.from_sinks(
             figure=paper_panel,
             title=("Virtual HDFS data access delay "
                    + ("with cache" if cached else "without cache")),
             x_label="size of request",
             x_values=[SIZE_LABELS.get(s, str(s)) for s in request_sizes],
             series={"inter-VM": inter_vm, "local": local},
+            reduce=lambda delays: delays.mean * 1e3,
             unit="ms",
             notes=f"file={file_bytes >> 20}MB, quad-core @2.0GHz",
         )
     return Fig02Result(figures["no_cache"], figures["cache"])
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run fig02``."""
-    warn_deprecated_main("fig02_motivation_delay", "fig02")
-    print(run().render())
-
-
-if __name__ == "__main__":
-    main()

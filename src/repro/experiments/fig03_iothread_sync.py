@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import FigureResult, warn_deprecated_main
+from repro.experiments.common import FigureResult
 from repro.workloads.netperf import NetperfRR
 
 REQUEST_SIZES = (32 * 1024, 64 * 1024, 128 * 1024)
@@ -48,18 +48,3 @@ def run(request_sizes: Sequence[int] = REQUEST_SIZES,
         unit="tx/s",
         notes=f"duration={duration}s per point, quad-core, lookbusy 85%",
     )
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run fig03``."""
-    warn_deprecated_main("fig03_iothread_sync", "fig03")
-    result = run()
-    print(result.render())
-    for i, size in enumerate(result.x_values):
-        two, four = result.series["2vms"][i], result.series["4vms"][i]
-        print(f"  {size}: drop = {(two - four) / two * 100:.1f}% "
-              f"(paper: ~20%)")
-
-
-if __name__ == "__main__":
-    main()

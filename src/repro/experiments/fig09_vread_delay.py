@@ -13,7 +13,7 @@ from typing import Dict, Sequence
 
 from repro.cluster import VirtualHadoopCluster
 from repro.experiments.common import (
-    FigureResult, load_dataset, warn_deprecated_main)
+    FigureResult, load_dataset)
 from repro.storage.content import PatternSource
 from repro.workloads.filereader import FileReadBenchmark
 
@@ -40,7 +40,8 @@ class Fig09Result:
 
 
 def _measure(vread: bool, total_vms: int, request_bytes: int,
-             cached: bool, file_bytes: int) -> float:
+             cached: bool, file_bytes: int):
+    """Returns the measured pass's per-request delay sink (SummaryStats)."""
     cluster = VirtualHadoopCluster(block_size=max(file_bytes, 1 << 20),
                                    vread=vread,
                                    total_vms_per_host=total_vms)
@@ -51,15 +52,15 @@ def _measure(vread: bool, total_vms: int, request_bytes: int,
     def reader():
         bench = FileReadBenchmark(request_bytes)
         yield from bench.read_hdfs(client, "/fig9/data")
-        return bench.mean_delay
+        return bench.delays
 
     if cached:
         cluster.run(cluster.sim.process(reader()))  # warm-up
     else:
         cluster.drop_all_caches()
-    delay = cluster.run(cluster.sim.process(reader()))
+    delays = cluster.run(cluster.sim.process(reader()))
     cluster.stop_background()
-    return delay * 1e3
+    return delays
 
 
 def run(file_bytes: int = 16 << 20,
@@ -79,31 +80,15 @@ def run(file_bytes: int = 16 << 20,
                 _measure(False, 4, request_bytes, cached, file_bytes))
             series["vRead-4vms"].append(
                 _measure(True, 4, request_bytes, cached, file_bytes))
-        figures[tag] = FigureResult(
+        figures[tag] = FigureResult.from_sinks(
             figure=panel,
             title=("Data access delay "
                    + ("with cache" if cached else "without cache")),
             x_label="size of request",
             x_values=[SIZE_LABELS.get(s, str(s)) for s in request_sizes],
             series=series,
+            reduce=lambda delays: delays.mean * 1e3,
             unit="ms",
             notes=f"file={file_bytes >> 20}MB, co-located read @2.0GHz",
         )
     return Fig09Result(figures["no_cache"], figures["cache"])
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run fig09``."""
-    warn_deprecated_main("fig09_vread_delay", "fig09")
-    result = run()
-    print(result.render())
-    for vms in ("2vms", "4vms"):
-        best = max(result.reduction_pct(vms, cached, size)
-                   for cached in (False, True)
-                   for size in result.no_cache.x_values)
-        print(f"  max delay reduction {vms}: {best:.1f}% "
-              f"(paper: up to {'40' if vms == '2vms' else '50'}%)")
-
-
-if __name__ == "__main__":
-    main()

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
-from repro.experiments.common import FigureResult, warn_deprecated_main
+from repro.experiments.common import FigureResult
 from repro.experiments.dfsio_sweep import MODES, SCENARIOS, VM_COUNTS, run_sweep
 from repro.hostmodel.frequency import PAPER_FREQUENCIES, frequency_label
 
@@ -67,24 +67,3 @@ def run(frequencies: Sequence[float] = PAPER_FREQUENCIES,
             notes=f"{n_files} x {file_bytes >> 20}MB files, 1MB buffer",
         )
     return Fig11Result(panels)
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run fig11``."""
-    warn_deprecated_main("fig11_dfsio_throughput", "fig11")
-    result = run()
-    print(result.render())
-    print("\nheadline checks:")
-    print(f"  co-located read improvement @3.2GHz 2vms: "
-          f"{result.improvement_pct('colocated', 'read', '3.2GHz', 2):.1f}% "
-          f"(paper ~20%)")
-    print(f"  co-located read improvement @1.6GHz 2vms: "
-          f"{result.improvement_pct('colocated', 'read', '1.6GHz', 2):.1f}% "
-          f"(paper ~41%)")
-    print(f"  co-located re-read improvement @2.0GHz 4vms: "
-          f"{result.improvement_pct('colocated', 'reread', '2.0GHz', 4):.1f}% "
-          f"(paper: re-read up to 150%)")
-
-
-if __name__ == "__main__":
-    main()

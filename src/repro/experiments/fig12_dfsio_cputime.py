@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
-from repro.experiments.common import FigureResult, warn_deprecated_main
+from repro.experiments.common import FigureResult
 from repro.experiments.dfsio_sweep import MODES, VM_COUNTS, run_sweep
 from repro.experiments.fig11_dfsio_throughput import PANELS
 from repro.hostmodel.frequency import PAPER_FREQUENCIES, frequency_label
@@ -62,16 +62,3 @@ def run(frequencies: Sequence[float] = PAPER_FREQUENCIES,
             notes=f"{n_files} x {file_bytes >> 20}MB files, 1MB buffer",
         )
     return Fig12Result(panels)
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run fig12``."""
-    warn_deprecated_main("fig12_dfsio_cputime", "fig12")
-    result = run()
-    print(result.render())
-    saving = result.cpu_saving_pct("colocated", "read", "2.0GHz", 2)
-    print(f"\n  co-located read CPU saving @2.0GHz 2vms: {saving:.1f}%")
-
-
-if __name__ == "__main__":
-    main()

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.common import FigureResult, warn_deprecated_main
+from repro.experiments.common import FigureResult
 from repro.experiments.dfsio_sweep import SCENARIOS, run_cell
 from repro.hostmodel.frequency import GHZ_2_0
 
@@ -35,20 +35,3 @@ def run(scenarios: Sequence[str] = SCENARIOS,
         unit="MBps",
         notes=f"{n_files} x {file_bytes >> 20}MB files @2.0GHz",
     )
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run fig13``."""
-    warn_deprecated_main("fig13_write_throughput", "fig13")
-    result = run()
-    print(result.render())
-    for i, scenario in enumerate(result.x_values):
-        vanilla = result.series["vanilla"][i]
-        vread = result.series["vRead"][i]
-        overhead = (vanilla - vread) / vanilla * 100.0
-        print(f"  {scenario}: vRead write overhead = {overhead:+.2f}% "
-              f"(paper: negligible)")
-
-
-if __name__ == "__main__":
-    main()

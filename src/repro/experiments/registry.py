@@ -5,8 +5,8 @@ name, the paper figure/table it reproduces, its parameter grid per size
 profile (``quick`` / ``default`` / ``paper``), and a lazily-imported
 builder function.  The CLI (``python -m repro run <name>``), the full
 report (:mod:`repro.experiments.run_all`) and the parallel runner
-(:mod:`repro.experiments.runner`) are all thin clients of this table — the
-per-module ``main()`` entry points remain only as deprecated shims.
+(:mod:`repro.experiments.runner`) are all thin clients of this table; it
+is the only entry point (the old per-module ``main()`` shims are gone).
 
 Sweep-shaped experiments additionally register a :class:`Fanout`: a way to
 decompose the run into independent *points* (one simulated cluster each)
@@ -249,6 +249,68 @@ _RACKS_FANOUT = Fanout(points=_racks_points, run_point=_racks_run_point,
                        assemble=_racks_assemble)
 
 
+def _load_sweep_points(kwargs: Dict[str, Any]) -> List[Tuple]:
+    from repro.experiments.load_sweep import HEALTH, MODES
+    return [(mode, health, rate)
+            for mode in MODES for health in HEALTH
+            for rate in kwargs.get("rates", (20.0, 60.0, 120.0))]
+
+
+def _load_sweep_run_point(point: Tuple, seed: int,
+                          kwargs: Dict[str, Any]) -> Any:
+    from repro.experiments.load_sweep import _measure
+    mode, health, rate = point
+    return _measure(mode == "vRead", health == "chaos", rate, seed,
+                    kwargs.get("duration", 2.5),
+                    kwargs.get("n_tenants", 2),
+                    kwargs.get("request_bytes", 256 << 10),
+                    kwargs.get("deadline_ms", 2.0) * 1e-3,
+                    kwargs.get("arrival_kind", "bursty"))
+
+
+def _load_sweep_assemble(results: List[Tuple[Tuple, Any]],
+                         kwargs: Dict[str, Any],
+                         build: Callable[..., Any]) -> Any:
+    from repro.experiments.load_sweep import assemble
+    return assemble({point: report for point, report in results}, **kwargs)
+
+
+_LOAD_SWEEP_FANOUT = Fanout(points=_load_sweep_points,
+                            run_point=_load_sweep_run_point,
+                            assemble=_load_sweep_assemble)
+
+
+def _tenants_points(kwargs: Dict[str, Any]) -> List[Tuple]:
+    from repro.experiments.scale_tenants import MODES
+    return [(mode, n_tenants)
+            for mode in MODES
+            for n_tenants in kwargs.get("tenant_counts", (1, 2, 4))]
+
+
+def _tenants_run_point(point: Tuple, seed: int,
+                       kwargs: Dict[str, Any]) -> Any:
+    from repro.experiments.scale_tenants import _measure
+    mode, n_tenants = point
+    return _measure(mode == "vRead", n_tenants, seed,
+                    kwargs.get("duration", 2.5),
+                    kwargs.get("rate", 40.0),
+                    kwargs.get("request_bytes", 256 << 10),
+                    kwargs.get("deadline_ms", 2.0) * 1e-3,
+                    kwargs.get("arrival_kind", "bursty"))
+
+
+def _tenants_assemble(results: List[Tuple[Tuple, Any]],
+                      kwargs: Dict[str, Any],
+                      build: Callable[..., Any]) -> Any:
+    from repro.experiments.scale_tenants import assemble
+    return assemble({point: report for point, report in results}, **kwargs)
+
+
+_TENANTS_FANOUT = Fanout(points=_tenants_points,
+                         run_point=_tenants_run_point,
+                         assemble=_tenants_assemble)
+
+
 # ------------------------------------------------------------------- headlines
 def _headline_breakdown(paper_client: str, paper_serving: str):
     def headline(result) -> List[str]:
@@ -418,6 +480,48 @@ register(ExperimentSpec(
     params=lambda p: {"rack_counts": (1, 2) if p == "quick" else (1, 2, 3),
                       "file_bytes": (2 if p == "quick" else 4) * _MB},
     fanout=_RACKS_FANOUT))
+
+def _headline_load_sweep(result) -> List[str]:
+    top = result.x_values[-1]
+    return [
+        f"-> @{top:g} req/s/tenant healthy p99: "
+        f"vanilla {result.report('vanilla', 'healthy', top).worst_p99_ms():.2f}ms "
+        f"vs vRead {result.report('vRead', 'healthy', top).worst_p99_ms():.2f}ms",
+        f"-> chaos violation time @{top:g}: vanilla "
+        f"{result.report('vanilla', 'chaos', top).violation_time_fraction() * 100:.0f}% "
+        f"vs vRead "
+        f"{result.report('vRead', 'chaos', top).violation_time_fraction() * 100:.0f}%",
+    ]
+
+
+register(ExperimentSpec(
+    name="load-sweep", figure="Extension: open-loop load sweep",
+    title="multi-tenant open-loop SLO sweep, healthy vs chaos (extension)",
+    module="load_sweep", group="extension",
+    params=lambda p: {
+        "rates": {"quick": (20.0, 60.0),
+                  "default": (20.0, 60.0, 120.0),
+                  "paper": (20.0, 60.0, 120.0, 200.0)}[p],
+        "duration": {"quick": 1.5, "default": 2.5, "paper": 4.0}[p],
+        "n_tenants": 2,
+        "request_bytes": (128 if p == "quick" else 256) << 10,
+        "deadline_ms": 2.0,
+        "arrival_kind": "bursty"},
+    fanout=_LOAD_SWEEP_FANOUT,
+    headline=_headline_load_sweep))
+
+register(ExperimentSpec(
+    name="scale-tenants", figure="Extension: tenant scale-out",
+    title="worst-tenant SLO vs tenant count (extension)",
+    module="scale_tenants", group="extension",
+    params=lambda p: {
+        "tenant_counts": (1, 2) if p == "quick" else (1, 2, 4),
+        "rate": 40.0,
+        "duration": {"quick": 1.5, "default": 2.5, "paper": 4.0}[p],
+        "request_bytes": (128 if p == "quick" else 256) << 10,
+        "deadline_ms": 2.0,
+        "arrival_kind": "bursty"},
+    fanout=_TENANTS_FANOUT))
 
 register(ExperimentSpec(
     name="chaos-sweep", figure="Extension: chaos sweep",

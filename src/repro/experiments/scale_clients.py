@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster import VirtualHadoopCluster, paper_fig10
-from repro.experiments.common import FigureResult, warn_deprecated_main
+from repro.experiments.common import FigureResult
 from repro.sim import AllOf
 from repro.storage.content import PatternSource
 
@@ -80,19 +80,3 @@ def run(client_counts: Sequence[int] = (1, 2, 4),
               for n in client_counts for mode in ("vanilla", "vRead")}
     return assemble(values, client_counts=client_counts,
                     file_bytes=file_bytes)
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run scale-clients``."""
-    warn_deprecated_main("scale_clients", "scale-clients")
-    result = run()
-    print(result.render())
-    for i, n_clients in enumerate(result.x_values):
-        vanilla = result.series["vanilla"][i]
-        vread = result.series["vRead"][i]
-        print(f"  {n_clients} clients: vRead aggregate advantage "
-              f"{(vread / vanilla - 1) * 100:+.1f}%")
-
-
-if __name__ == "__main__":
-    main()

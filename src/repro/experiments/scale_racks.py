@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster import VirtualHadoopCluster, rack_cluster
-from repro.experiments.common import FigureResult, warn_deprecated_main
+from repro.experiments.common import FigureResult
 from repro.metrics.report import GroupedTotals
 from repro.sim import AllOf
 from repro.storage.content import PatternSource
@@ -123,14 +123,3 @@ def run(rack_counts: Sequence[int] = (1, 2, 3),
     values = {(mode, n): _measure(mode == "vRead", n, file_bytes)
               for n in rack_counts for mode in ("vanilla", "vRead")}
     return assemble(values, rack_counts=rack_counts, file_bytes=file_bytes)
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run scale-racks``."""
-    warn_deprecated_main("scale_racks", "scale-racks")
-    result = run()
-    print(result.render())
-
-
-if __name__ == "__main__":
-    main()

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster import VirtualHadoopCluster
-from repro.experiments.common import load_dataset, warn_deprecated_main
+from repro.experiments.common import load_dataset
 from repro.hostmodel.costs import CostModel
 from repro.metrics.report import Table
 from repro.storage.content import PatternSource
@@ -99,19 +99,3 @@ def run(knobs: Sequence[str] = DEFAULT_KNOBS,
                 **{knob: getattr(base, knob) * scale})
             cells[(knob, scale)] = _improvements(costs, file_bytes)
     return SensitivityResult(cells)
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run sensitivity``."""
-    warn_deprecated_main("sensitivity", "sensitivity")
-    result = run()
-    print(result.render())
-    print(f"\n  improvement positive under every perturbation: "
-          f"{result.always_positive()}")
-    most = max(DEFAULT_KNOBS, key=result.spread)
-    print(f"  most sensitive constant: {most} "
-          f"(cold-improvement spread {result.spread(most):.1f} points)")
-
-
-if __name__ == "__main__":
-    main()

@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.experiments.common import warn_deprecated_main
 from repro.cluster import VirtualHadoopCluster
 from repro.experiments import paper_data
 from repro.hostmodel.frequency import GHZ_2_0
@@ -86,13 +85,3 @@ def run(n_rows: int = 32_768, row_bytes: int = 1024,
     vanilla = _measure(False, n_rows, row_bytes, rows_per_region)
     vread = _measure(True, n_rows, row_bytes, rows_per_region)
     return Table2Result({op: (vanilla[op], vread[op]) for op in OPERATIONS})
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run table2``."""
-    warn_deprecated_main("table2_hbase", "table2")
-    print(run().render())
-
-
-if __name__ == "__main__":
-    main()

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-from repro.experiments.common import warn_deprecated_main
 from repro.cluster import VirtualHadoopCluster
 from repro.experiments import paper_data
 from repro.hostmodel.frequency import GHZ_2_0
@@ -119,13 +118,3 @@ def run(n_rows: int = 262_144, row_bytes: int = 128,
     sqoop = (_sqoop_time(False, n_rows, row_bytes, rows_per_file),
              _sqoop_time(True, n_rows, row_bytes, rows_per_file))
     return Table3Result(hive, sqoop)
-
-
-def main() -> None:
-    """Deprecated entry point; use ``python -m repro run table3``."""
-    warn_deprecated_main("table3_hive_sqoop", "table3")
-    print(run().render())
-
-
-if __name__ == "__main__":
-    main()

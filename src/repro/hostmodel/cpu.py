@@ -184,15 +184,26 @@ class _Burst:
             t = t + burst / self.frequency_hz
         return t
 
-    def commit(self, now: float) -> None:
+    def commit(self, now: float, observer_sched: Optional[float] = None) -> None:
         """Charge every fold boundary up to and including ``now``.
 
-        A boundary landing exactly on ``now`` is charged: the reference
-        timer for it was created a whole slice earlier, so whatever event
-        triggered this commit — a wake-up, an accounting read, a demoting
-        contender — was minted at the current instant with a higher
-        sequence number, and the reference had already fired and charged
-        by then.
+        A boundary landing exactly on ``now`` is normally charged: the
+        reference timer for it was created at the boundary's *start*, so a
+        commit triggered by an event minted at the current instant (a
+        wake-up, a demoting contender's grant) carries a higher sequence
+        number, and the reference had already fired and charged by then.
+
+        That assumption fails for *observers* — accounting reads driven by
+        an event that was scheduled **before** the boundary's start (e.g. a
+        probe timeout armed long ago that happens to land float-exactly on
+        a slice end): in the reference, the observer's lower sequence
+        number fires it *before* the slice timer, so it must not see that
+        boundary charged.  Callers on an observer
+        path pass the active event's schedule time (``observer_sched``);
+        a boundary ending exactly at ``now`` is then charged only when the
+        observer was scheduled at or after the boundary's start.  ``None``
+        keeps the inclusive behaviour (the burst's own wake/interrupt path,
+        or reads from outside event processing).
         """
         t = self.t
         accounting = self.scheduler.accounting
@@ -200,6 +211,9 @@ class _Burst:
         if not self.switch_done:
             end = t + self.switch_seconds
             if end > now:
+                return
+            if (end == now and observer_sched is not None
+                    and observer_sched < t):
                 return
             key = (self.thread_name, OTHERS)
             if key not in accounting._birth:
@@ -225,6 +239,9 @@ class _Burst:
                 duration = burst / freq
                 end = t + duration
                 if end > now:
+                    break
+                if (end == now and observer_sched is not None
+                        and observer_sched < t):
                     break
                 if not changed and key not in accounting._birth:
                     accounting._note_birth(key, end)
@@ -384,6 +401,12 @@ class CpuScheduler:
                 # boundary check itself.  Reprogramming it here would skip
                 # that check.
                 continue
+            # Inclusive commit, even when the demoting event was scheduled
+            # in the past: the reference's queue join always rides a
+            # same-instant hop (the mutex token, or a grant handed off
+            # inside a boundary callback), so every reference timer for a
+            # boundary landing exactly at now fires — charges, sees the
+            # not-yet-joined queue, arms the next slice — before the join.
             burst.commit(now)
             candidates.append(burst)
         # Replacement timers must be minted in the order the reference
@@ -423,11 +446,18 @@ class CpuScheduler:
                 proc._target = replacement
 
     def _settle_inflight(self) -> None:
-        """Accounting settle hook: charge elapsed coalesced boundaries."""
+        """Accounting settle hook: charge elapsed coalesced boundaries.
+
+        The reader is an observer (see :meth:`_Burst.commit`): a probe
+        whose timeout was armed before the in-progress slice began must
+        not see a boundary landing float-exactly on its own wake instant —
+        the reference charges that boundary strictly after the probe.
+        """
         now = self.sim._now
+        observer_sched = self.sim._active_sched_time
         for burst in self._inflight:
             if burst.timer is not None:
-                burst.commit(now)
+                burst.commit(now, observer_sched=observer_sched)
 
     # -------------------------------------------------------------- execution
     def execute(self, thread: Thread, cycles: float, category: str):

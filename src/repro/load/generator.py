@@ -1,0 +1,213 @@
+"""The open-loop multi-tenant load generator.
+
+Two execution modes share the same tenant specs, seeding and SLO sinks:
+
+**Cluster mode** (:meth:`LoadGenerator.run_cluster`) drives real HDFS
+reads through ``cluster.clients.get(vm=...)``, one client VM per tenant.
+Arrivals are scheduled on the simulation clock independently of request
+completions (each request runs as its own spawned process), so when the
+cluster saturates the queue grows and the latency tail appears — the
+behaviour a closed loop structurally cannot show.  A fault plan armed at
+measurement start turns the run into a chaos-under-load SLO curve.
+
+**Synthetic mode** (:meth:`LoadGenerator.run_synthetic`) replays the same
+seeded arrival streams through an arithmetic M/G/1 pipeline per tenant —
+no event kernel, no retained per-request state — which is what the
+million-sample RSS-flatness benchmark exercises: memory is bounded by the
+sinks alone, independent of sample count.
+
+Determinism: every random draw comes from a named
+:class:`~repro.sim.rng.RandomStreams` stream derived from ``(seed,
+tenant name)``, so a tenant's traffic does not depend on how many other
+tenants run beside it, and any fan-out of sweep points across worker
+processes reproduces the serial run byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.load.slo import SloReport, TenantSlo
+from repro.load.tenants import TenantSpec
+from repro.sim import AllOf
+from repro.sim.rng import RandomStreams
+
+__all__ = ["LoadGenerator", "SyntheticService"]
+
+
+@dataclass(frozen=True)
+class SyntheticService:
+    """Service-time model for synthetic mode (per-tenant M/G/1 pipeline).
+
+    A request for a *hot* key (rank below ``cached_keys``) costs
+    ``cached_seconds`` plus an exponential jitter; any other key pays
+    ``base_seconds`` plus a per-byte cost plus jitter — a crude but
+    load-faithful stand-in for cache-hit vs disk-read service times.
+    """
+
+    base_seconds: float = 4e-3
+    per_byte_seconds: float = 2e-9
+    cached_seconds: float = 8e-4
+    cached_keys: int = 2
+    jitter_seconds: float = 5e-4
+
+    def sample(self, rng, key: int, request_bytes: int) -> float:
+        if key < self.cached_keys:
+            base = self.cached_seconds
+        else:
+            base = self.base_seconds + request_bytes * self.per_byte_seconds
+        if self.jitter_seconds > 0:
+            base += rng.expovariate(1.0 / self.jitter_seconds)
+        return base
+
+
+class LoadGenerator:
+    """Seeded open-loop arrivals for a set of tenants, reported via SLO sinks."""
+
+    def __init__(self, tenants: Sequence[TenantSpec], seed: int = 0,
+                 window_seconds: float = 0.5, bins_per_decade: int = 100):
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        names = [tenant.name for tenant in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tenant names must be unique: {names}")
+        self.tenants = list(tenants)
+        self.seed = seed
+        self.window_seconds = window_seconds
+        self.bins_per_decade = bins_per_decade
+        self.streams = RandomStreams(seed)
+
+    # ------------------------------------------------------------- plumbing
+    def _make_slos(self) -> Dict[str, TenantSlo]:
+        return {tenant.name: TenantSlo(tenant.name,
+                                       tenant.deadline_seconds,
+                                       window_seconds=self.window_seconds,
+                                       bins_per_decade=self.bins_per_decade)
+                for tenant in self.tenants}
+
+    def _stream(self, purpose: str, tenant: TenantSpec):
+        return self.streams.stream(f"load.{purpose}.{tenant.name}")
+
+    # ------------------------------------------------------- synthetic mode
+    def run_synthetic(self, duration: float,
+                      service: Optional[SyntheticService] = None,
+                      title: str = "synthetic open-loop run") -> SloReport:
+        """Arithmetic open-loop run: no kernel, sink-bounded memory.
+
+        Each tenant is an M/G/1 queue: requests arrive on the tenant's
+        seeded open-loop schedule, are served FIFO by one server, and
+        their latency (completion minus arrival, queueing included)
+        streams straight into the SLO sinks.  Nothing per-request is
+        retained, so RSS stays flat from 10^4 to 10^6 samples.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive: {duration}")
+        service = service or SyntheticService()
+        slos = self._make_slos()
+        for tenant in self.tenants:
+            rng_arrivals = self._stream("arrivals", tenant)
+            rng_keys = self._stream("keys", tenant)
+            rng_service = self._stream("service", tenant)
+            keys = tenant.keys()
+            slo = slos[tenant.name]
+            server_free = 0.0
+            for arrival in tenant.arrivals().times(rng_arrivals, duration):
+                slo.note_arrival()
+                key = keys.pick(rng_keys)
+                cost = service.sample(rng_service, key,
+                                      tenant.request_bytes)
+                start = server_free if server_free > arrival else arrival
+                server_free = start + cost
+                slo.record(arrival, server_free)
+        return SloReport.from_sinks(title, slos, duration)
+
+    # --------------------------------------------------------- cluster mode
+    def run_cluster(self, cluster, duration: float, mode: str = "auto",
+                    dataset_prefix: str = "/load",
+                    arm_faults: bool = False,
+                    title: str = "open-loop cluster run") -> SloReport:
+        """Drive real reads through the cluster's client facade.
+
+        Tenant ``i`` uses ``cluster.client_vms[i]``; its working set is
+        ``n_keys`` files under ``<dataset_prefix>/<tenant>/`` written (and
+        cache-warmed) before measurement starts.  ``arm_faults=True``
+        arms the cluster's fault injector at measurement start, so a
+        configured :class:`~repro.faults.plan.FaultPlan` plays out *under
+        load* and its damage lands in the SLO report.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive: {duration}")
+        if len(cluster.client_vms) < len(self.tenants):
+            raise ValueError(
+                f"cluster has {len(cluster.client_vms)} client VMs for "
+                f"{len(self.tenants)} tenants; build the topology with "
+                f"clients={len(self.tenants)} (e.g. "
+                f"paper_fig10(clients=N))")
+        from repro.storage.content import PatternSource
+
+        sim = cluster.sim
+        clients = []
+        paths: List[List[str]] = []
+        for index, tenant in enumerate(self.tenants):
+            vm = cluster.client_vms[index]
+            clients.append(cluster.clients.get(mode=mode, vm=vm))
+            paths.append([f"{dataset_prefix}/{tenant.name}/k{key}"
+                          for key in range(tenant.n_keys)])
+
+        def load_datasets():
+            for index, tenant in enumerate(self.tenants):
+                for key, path in enumerate(paths[index]):
+                    yield from cluster.write_dataset(
+                        path,
+                        PatternSource(tenant.request_bytes,
+                                      seed=1000 + 31 * index + key))
+
+        cluster.run(sim.process(load_datasets()))
+        cluster.settle()
+
+        def warm(index: int):
+            for path in paths[index]:
+                yield from clients[index].read_file(
+                    path, self.tenants[index].request_bytes)
+
+        cluster.run_all([sim.process(warm(i))
+                         for i in range(len(self.tenants))])
+
+        slos = self._make_slos()
+        outstanding: List = []
+        epoch = sim.now
+
+        def request(index: int, slo: TenantSlo, key: int):
+            arrival = sim.now
+            yield from clients[index].read_file(
+                paths[index][key], self.tenants[index].request_bytes)
+            slo.record(arrival - epoch, sim.now - epoch)
+
+        def drive(index: int, tenant: TenantSpec):
+            rng_arrivals = self._stream("arrivals", tenant)
+            rng_keys = self._stream("keys", tenant)
+            keys = tenant.keys()
+            slo = slos[tenant.name]
+            clock = 0.0
+            for arrival in tenant.arrivals().times(rng_arrivals, duration):
+                yield sim.timeout(arrival - clock)
+                clock = arrival
+                slo.note_arrival()
+                # Spawned, not awaited: the open loop never slows down
+                # because the cluster is slow — that pressure is the point.
+                outstanding.append(
+                    sim.process(request(index, slo, keys.pick(rng_keys))))
+
+        if arm_faults:
+            cluster.faults.arm()
+        drivers = [sim.process(drive(i, tenant))
+                   for i, tenant in enumerate(self.tenants)]
+
+        def whole_run():
+            yield AllOf(sim, drivers)
+            if outstanding:
+                yield AllOf(sim, outstanding)
+
+        cluster.run(sim.process(whole_run()))
+        return SloReport.from_sinks(title, slos, duration)

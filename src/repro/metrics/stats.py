@@ -1,15 +1,39 @@
-"""Summary statistics for latency/throughput samples."""
+"""Summary statistics for latency/throughput samples.
+
+:class:`SummaryStats` is implemented on top of the streaming sinks
+(:mod:`repro.metrics.sinks`): a seeded bounded :class:`Reservoir` plus a
+:class:`LogHistogram` sketch, with exact running aggregates (count, total,
+min, max, sum of squares) kept alongside.  While the sample count is
+within the reservoir capacity the behaviour is bit-identical to the old
+keep-every-sample implementation — percentiles interpolate over the full
+sample list, ``stdev`` uses the exact two-pass formula, ``total`` is the
+same left-to-right float sum.  Past capacity, memory stays bounded:
+percentiles come from the sketch (nearest-rank, bucket resolution) and
+``stdev`` from running moments.
+
+Empty-state accessors raise
+:class:`~repro.metrics.sinks.EmptyMetricError` — a ``ValueError`` whose
+message follows the package-wide ``"<where>: no samples recorded"``
+contract (see ``docs/extending.md``).
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.metrics.sinks import EmptyMetricError, LogHistogram, Reservoir
+
+#: Default number of samples SummaryStats retains exactly; experiments in
+#: this repo record well under this per stats object, so the exact
+#: (pre-sink) behaviour is preserved for all of them.
+DEFAULT_RESERVOIR_CAPACITY = 4096
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
     """The ``q``-th percentile (0..100) using linear interpolation."""
     if not samples:
-        raise ValueError("no samples")
+        raise EmptyMetricError("percentile")
     if not 0 <= q <= 100:
         raise ValueError(f"percentile out of range: {q}")
     ordered = sorted(samples)
@@ -25,68 +49,148 @@ def percentile(samples: Sequence[float], q: float) -> float:
 
 
 class SummaryStats:
-    """Streaming collection of samples with common summary accessors."""
+    """Streaming collection of samples with common summary accessors.
 
-    def __init__(self, samples: Iterable[float] = ()) -> None:
-        self._samples: List[float] = list(samples)
+    ``capacity`` bounds the retained-sample reservoir;
+    ``bins_per_decade`` sets the quantile sketch's resolution.  Both
+    default to values under which every existing experiment behaves
+    exactly as before the sink redesign.
+    """
+
+    __slots__ = ("_reservoir", "_sketch", "_count", "_total", "_sumsq",
+                 "_min", "_max")
+
+    def __init__(self, samples: Iterable[float] = (),
+                 capacity: int = DEFAULT_RESERVOIR_CAPACITY,
+                 bins_per_decade: int = 100) -> None:
+        self._reservoir = Reservoir(capacity=capacity)
+        self._sketch = LogHistogram(bins_per_decade=bins_per_decade)
+        self._count = 0
+        self._total = 0.0
+        self._sumsq = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self.extend(samples)
 
     def add(self, sample: float) -> None:
-        self._samples.append(sample)
+        sample = float(sample)
+        self._count += 1
+        self._total += sample
+        self._sumsq += sample * sample
+        if self._min is None or sample < self._min:
+            self._min = sample
+        if self._max is None or sample > self._max:
+            self._max = sample
+        self._reservoir.observe(sample)
+        self._sketch.observe(sample)
 
     def extend(self, samples: Iterable[float]) -> None:
-        self._samples.extend(samples)
+        for sample in samples:
+            self.add(sample)
 
+    def merge(self, other: "SummaryStats") -> None:
+        """Fold another stats object in (multi-job fan-in).
+
+        Exact aggregates combine exactly; the sketch merges bucket-wise.
+        Note the float ``total`` adds in call order — digest-grade
+        determinism across job topologies comes from the sketch
+        (:meth:`sketch_digest`), not from ``total``.
+        """
+        self._count += other._count
+        self._total += other._total
+        self._sumsq += other._sumsq
+        if other._min is not None and (self._min is None
+                                       or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None
+                                       or other._max > self._max):
+            self._max = other._max
+        self._reservoir.merge(other._reservoir)
+        self._sketch.merge(other._sketch)
+
+    # ---------------------------------------------------------------- access
     def __len__(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
-    def samples(self) -> Sequence[float]:
-        return tuple(self._samples)
+    def exact(self) -> bool:
+        """True while every sample is retained (exact percentiles/stdev)."""
+        return self._reservoir.exact
+
+    @property
+    def samples(self) -> Tuple[float, ...]:
+        """Retained samples — every sample, in insertion order, while
+        :attr:`exact`; a seeded reservoir subset past capacity."""
+        return self._reservoir.samples
+
+    @property
+    def sketch(self) -> LogHistogram:
+        """The underlying quantile sketch (shared, not a copy)."""
+        return self._sketch
+
+    def sketch_digest(self) -> str:
+        """Canonical digest of the sketch state (determinism gates)."""
+        return self._sketch.digest()
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self._samples)
+        return self._total
 
     @property
     def mean(self) -> float:
-        if not self._samples:
-            raise ValueError("no samples")
-        return self.total / len(self._samples)
+        if not self._count:
+            raise EmptyMetricError("SummaryStats.mean")
+        return self._total / self._count
 
     @property
     def minimum(self) -> float:
-        if not self._samples:
-            raise ValueError("no samples")
-        return min(self._samples)
+        if self._min is None:
+            raise EmptyMetricError("SummaryStats.minimum")
+        return self._min
 
     @property
     def maximum(self) -> float:
-        if not self._samples:
-            raise ValueError("no samples")
-        return max(self._samples)
+        if self._max is None:
+            raise EmptyMetricError("SummaryStats.maximum")
+        return self._max
 
     @property
     def stdev(self) -> float:
-        """Population standard deviation (0.0 for a single sample)."""
-        if not self._samples:
-            raise ValueError("no samples")
-        mu = self.mean
-        return math.sqrt(sum((x - mu) ** 2 for x in self._samples)
-                         / len(self._samples))
+        """Population standard deviation (0.0 for a single sample).
+
+        Exact (two-pass over retained samples, matching the historical
+        implementation bit-for-bit) while :attr:`exact`; computed from
+        running moments once the reservoir has spilled.
+        """
+        if not self._count:
+            raise EmptyMetricError("SummaryStats.stdev")
+        if self._reservoir.exact:
+            mu = self.mean
+            retained = self._reservoir.samples
+            return math.sqrt(sum((x - mu) ** 2 for x in retained)
+                             / len(retained))
+        variance = self._sumsq / self._count - self.mean ** 2
+        return math.sqrt(max(0.0, variance))
 
     def percentile(self, q: float) -> float:
-        return percentile(self._samples, q)
+        """Exact interpolated percentile while :attr:`exact`, else the
+        sketch's nearest-rank bucket-midpoint quantile."""
+        if not self._count:
+            raise EmptyMetricError("SummaryStats.percentile")
+        if self._reservoir.exact:
+            return percentile(self._reservoir.samples, q)
+        return self._sketch.quantile(q)
 
     @property
     def median(self) -> float:
         return self.percentile(50)
 
     def __repr__(self) -> str:
-        if not self._samples:
+        if not self._count:
             return "<SummaryStats empty>"
         return (f"<SummaryStats n={self.count} mean={self.mean:.6g} "
                 f"min={self.minimum:.6g} max={self.maximum:.6g}>")

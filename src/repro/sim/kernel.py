@@ -66,6 +66,12 @@ class Simulator:
         self._heap: list = []
         self._seq: int = 0
         self._active_process: Optional[Process] = None
+        #: Simulated time at which the heap entry currently being processed
+        #: was scheduled (pushed), or ``None`` outside event processing.
+        #: Tie-breaking consumers (the CPU scheduler's coalesced-burst
+        #: commit) use it to decide whether the active event would have
+        #: fired before or after a timer the fast path never minted.
+        self._active_sched_time: Optional[float] = None
         #: Cancelled timers still sitting on the heap (compaction trigger).
         self._ncancelled: int = 0
         #: Per-simulator counters mirrored into the module totals on drain.
@@ -109,7 +115,7 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past ({delay})")
         self._seq += 1
-        heappush(self._heap, (self._now + delay, self._seq, event))
+        heappush(self._heap, (self._now + delay, self._seq, event, self._now))
 
     def schedule_at(self, when: float, event: Event) -> None:
         """Place a triggered event on the heap at absolute time ``when``.
@@ -122,7 +128,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past ({when} < {self._now})")
         self._seq += 1
-        heappush(self._heap, (when, self._seq, event))
+        heappush(self._heap, (when, self._seq, event, self._now))
 
     def _note_cancelled(self) -> None:
         """Bookkeeping for :meth:`Timeout.cancel`; may compact the heap."""
@@ -169,13 +175,14 @@ class Simulator:
                     return True
                 if until is not None and heap[0][0] > until:
                     return True
-                when, _, event = pop(heap)
+                when, _, event, scheduled_at = pop(heap)
                 if event._cancelled:
                     discarded += 1
                     continue
                 if sanitizer is not None and when < self._now:
                     raise sanitizer.non_monotonic_error(when)
                 self._now = when
+                self._active_sched_time = scheduled_at
                 processed += 1
                 if not processed & 255:
                     size = len(heap)
@@ -189,6 +196,7 @@ class Simulator:
                     raise event._value
             return False
         finally:
+            self._active_sched_time = None
             self.events_processed += processed
             self.cancelled_discarded += discarded
             self._ncancelled = max(0, self._ncancelled - discarded)

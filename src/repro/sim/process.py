@@ -135,7 +135,7 @@ class Process(Event):
                 relay._defused = True
             relay.callbacks.append(self._resume)
             sim._seq += 1
-            heappush(sim._heap, (sim._now, sim._seq, relay))
+            heappush(sim._heap, (sim._now, sim._seq, relay, sim._now))
             self._target = relay
 
     def __repr__(self) -> str:

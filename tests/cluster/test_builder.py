@@ -61,15 +61,11 @@ def test_clients_facade_per_vm():
     assert cluster.clients.get() is cluster.clients.get(mode="vanilla")
 
 
-def test_deprecated_client_aliases_still_work():
+def test_deprecated_client_aliases_removed():
+    # The clients facade is the only way in; the old alias trio is gone.
     cluster = VirtualHadoopCluster(block_size=1 << 20)
-    with pytest.warns(DeprecationWarning, match="cluster.clients.get"):
-        assert cluster.client() is cluster.clients.get()
-    with pytest.warns(DeprecationWarning, match="mode='vanilla'"):
-        assert cluster.vanilla_client() is cluster.clients.get(mode="vanilla")
-    vm2 = cluster.add_client_vm("client2")
-    with pytest.warns(DeprecationWarning, match="vm=vm"):
-        assert cluster.client_for(vm2) is cluster.clients.get(vm=vm2)
+    for alias in ("client", "vanilla_client", "client_for"):
+        assert not hasattr(cluster, alias)
 
 
 def test_config_validation():

@@ -1,0 +1,82 @@
+"""Tests for the seeded open-loop arrival processes."""
+
+import math
+from random import Random
+
+import pytest
+
+from repro.load.arrivals import (BurstyArrivals, DiurnalArrivals,
+                                 PoissonArrivals, make_arrivals)
+
+PROCESSES = (PoissonArrivals(rate=200.0),
+             BurstyArrivals(rate=200.0),
+             DiurnalArrivals(rate=200.0, period_seconds=5.0))
+
+
+@pytest.mark.parametrize("process", PROCESSES,
+                         ids=[p.kind for p in PROCESSES])
+def test_times_strictly_increasing_and_bounded(process):
+    times = list(process.times(Random(12), 10.0))
+    assert times, "expected some arrivals at 200/s over 10s"
+    assert all(0.0 <= t < 10.0 for t in times)
+    assert all(a < b for a, b in zip(times, times[1:]))
+
+
+@pytest.mark.parametrize("process", PROCESSES,
+                         ids=[p.kind for p in PROCESSES])
+def test_same_seed_same_times(process):
+    assert (list(process.times(Random(3), 5.0))
+            == list(process.times(Random(3), 5.0)))
+    assert (list(process.times(Random(3), 5.0))
+            != list(process.times(Random(4), 5.0)))
+
+
+@pytest.mark.parametrize("process", PROCESSES,
+                         ids=[p.kind for p in PROCESSES])
+def test_empirical_rate_matches_mean(process):
+    # One long run per shape: the law of large numbers is kind at n~20k.
+    duration = 100.0
+    count = sum(1 for _ in process.times(Random(7), duration))
+    expected = process.mean_rate() * duration
+    assert count == pytest.approx(expected, rel=0.05)
+
+
+def test_bursty_is_burstier_than_poisson():
+    """The MMPP's gap variance must exceed Poisson's at equal mean rate."""
+    def squared_cv(times):
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        return var / mean ** 2
+
+    poisson = list(PoissonArrivals(rate=400.0).times(Random(5), 50.0))
+    bursty = list(BurstyArrivals(rate=400.0, burstiness=1.9)
+                  .times(Random(5), 50.0))
+    assert squared_cv(bursty) > squared_cv(poisson) * 1.1
+
+
+def test_diurnal_concentrates_near_peak():
+    """More arrivals in the peak half-period than the trough half-period."""
+    process = DiurnalArrivals(rate=300.0, period_seconds=10.0, amplitude=0.9)
+    times = list(process.times(Random(9), 10.0))
+    peak = sum(1 for t in times if t < 2.5 or t >= 7.5)
+    trough = sum(1 for t in times if 2.5 <= t < 7.5)
+    assert peak > trough * 1.5
+
+
+def test_make_arrivals_registry():
+    assert isinstance(make_arrivals("poisson", 10.0), PoissonArrivals)
+    bursty = make_arrivals("bursty", 10.0, burstiness=1.5)
+    assert isinstance(bursty, BurstyArrivals)
+    assert bursty.burstiness == 1.5
+    with pytest.raises(ValueError, match="unknown arrival kind"):
+        make_arrivals("sawtooth", 10.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PoissonArrivals(rate=0.0)
+    with pytest.raises(ValueError):
+        BurstyArrivals(rate=5.0, burstiness=2.5)
+    with pytest.raises(ValueError):
+        DiurnalArrivals(rate=5.0, amplitude=1.5)

@@ -1,0 +1,67 @@
+"""Tests for tenant specs and Zipf key skew."""
+
+from collections import Counter
+from random import Random
+
+import pytest
+
+from repro.load.arrivals import BurstyArrivals, PoissonArrivals
+from repro.load.tenants import TenantSpec, ZipfKeys, default_tenants
+
+
+# ---------------------------------------------------------------------- zipf
+def test_zipf_skews_toward_low_ranks():
+    keys = ZipfKeys(n_keys=16, s=1.2)
+    rng = Random(2)
+    counts = Counter(keys.pick(rng) for _ in range(20_000))
+    assert counts[0] > counts[1] > counts[4] > counts[15]
+    # Rank-0 popularity should dominate clearly under s=1.2.
+    assert counts[0] > 3 * counts[4]
+
+
+def test_zipf_uniform_at_s_zero():
+    keys = ZipfKeys(n_keys=4, s=0.0)
+    rng = Random(3)
+    counts = Counter(keys.pick(rng) for _ in range(40_000))
+    for key in range(4):
+        assert counts[key] == pytest.approx(10_000, rel=0.1)
+
+
+def test_zipf_covers_all_keys_and_validates():
+    keys = ZipfKeys(n_keys=3, s=1.0)
+    rng = Random(4)
+    seen = {keys.pick(rng) for _ in range(5_000)}
+    assert seen == {0, 1, 2}
+    with pytest.raises(ValueError):
+        ZipfKeys(n_keys=0)
+    with pytest.raises(ValueError):
+        ZipfKeys(n_keys=4, s=-1.0)
+
+
+# -------------------------------------------------------------------- tenants
+def test_tenant_spec_factories():
+    spec = TenantSpec(name="t", arrival_kind="bursty", rate=50.0,
+                      arrival_params={"burstiness": 1.4})
+    arrivals = spec.arrivals()
+    assert isinstance(arrivals, BurstyArrivals)
+    assert arrivals.rate == 50.0
+    assert arrivals.burstiness == 1.4
+    assert spec.keys().n_keys == spec.n_keys
+
+
+def test_tenant_spec_validation():
+    with pytest.raises(ValueError):
+        TenantSpec(name="")
+    with pytest.raises(ValueError):
+        TenantSpec(name="t", deadline_seconds=0.0)
+    with pytest.raises(ValueError):
+        TenantSpec(name="t", request_bytes=0)
+
+
+def test_default_tenants_population():
+    tenants = default_tenants(3, rate=25.0, deadline_seconds=0.01)
+    assert [t.name for t in tenants] == ["tenant1", "tenant2", "tenant3"]
+    assert all(isinstance(t.arrivals(), PoissonArrivals) for t in tenants)
+    assert all(t.rate == 25.0 for t in tenants)
+    with pytest.raises(ValueError):
+        default_tenants(0, rate=25.0)

@@ -20,7 +20,7 @@ measure over windows, not at adversarially exact instants.
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.hostmodel.costs import CostModel
@@ -121,6 +121,13 @@ def _run_scenario(legacy, cores, n_threads, bursts, probe_times_us,
            max_size=2),
        freq_change_us=st.one_of(
            st.none(), st.integers(min_value=1, max_value=2000)))
+# Regression: an accounting probe armed at t=0 landing float-exactly on a
+# slice-fold boundary must not see that boundary charged — the reference
+# fires the lower-seq probe before the slice timer (fixed via the kernel's
+# schedule-time tracking and _Burst.commit's observer_sched rule).
+@example(cores=1, n_threads=1,
+         bursts=[(0, 0, 548001, "work"), (0, 0, 200000, "work")],
+         probe_times_us=[382], interrupts=[(0, 278)], freq_change_us=None)
 @settings(max_examples=40, deadline=None)
 def test_fast_path_equivalent_to_slice_loop(cores, n_threads, bursts,
                                             probe_times_us, interrupts,
