@@ -1,6 +1,6 @@
 # Convenience targets for the vRead reproduction.
 
-.PHONY: install test lint analyze chaos bench bench-quick bench-pr5 bench-pr5-quick load-smoke load-bench profile bench-tables report paper-report quick-report demo clean
+.PHONY: install test lint analyze chaos bench bench-quick bench-pr5 bench-pr5-quick load-smoke load-bench storage-smoke storage-bench profile bench-tables report paper-report quick-report demo clean
 
 install:
 	python setup.py develop
@@ -42,6 +42,16 @@ load-smoke:
 
 load-bench:
 	PYTHONPATH=src python benchmarks/perf/bench_pr7.py --out BENCH_pr7.json
+
+# Tiered-storage harness: device-tier determinism, hot-placement +
+# stream-digest reproducibility, flat-RSS appends (see docs/storage.md);
+# storage-smoke is the CI profile.
+storage-smoke:
+	PYTHONPATH=src python benchmarks/perf/bench_pr8.py --quick --out BENCH_pr8.json
+	PYTHONPATH=src python -m pytest tests/storage tests/cluster/test_storage_tiers.py tests/properties/test_stream_properties.py -q
+
+storage-bench:
+	PYTHONPATH=src python benchmarks/perf/bench_pr8.py --out BENCH_pr8.json
 
 # Usage: make profile [EXP=fig11] [PROFILE_FLAGS="--quick --memory"]
 EXP ?= fig11

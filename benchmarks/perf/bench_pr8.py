@@ -1,0 +1,256 @@
+"""PR 8 performance harness: tiered storage devices + the stream layer.
+
+Measures, each phase in a fresh subprocess (clean RSS high-water mark):
+
+* **Device-class determinism** — the ``ablation-storage-tiers`` sweep at
+  ``--jobs 1`` vs ``--jobs 4`` (canonical JSON must be byte-identical),
+  plus a repeated mixed-tier cluster run whose stream-layer digest must
+  reproduce exactly.
+* **Tier ordering** — cold-read throughput must rank hdd < ssd < nvme
+  in both modes, and the vRead cold-read gain must *grow* with media
+  speed (the CPU-vs-device crossover the ablation exists to show).
+* **Stream-append RSS flatness** — appending 10^4 vs 10^6 virtual
+  records to a ``retain=False`` stream layer: peak RSS of the large run
+  must stay below 1.2x the small run's, because only lengths and
+  rolling digests are kept.
+* **Stream-append throughput** — virtual appends/second through the
+  block-mapping path every simulated write pays.
+
+Writes BENCH_pr8.json (see docs/performance.md) and exits non-zero if
+any gate fails — CI runs this with ``--quick``.
+
+Wall-clock use is deliberate and allowed here: this file measures the
+*host* runtime of the harness, it is not simulation code (simlint scans
+``src/repro`` only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import platform
+import resource
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..",
+                                "src"))
+
+RSS_FLATNESS_LIMIT = 1.2
+
+
+def _measure_in_child(target, kwargs, conn):
+    started = time.monotonic()
+    payload = target(**kwargs)
+    elapsed = time.monotonic() - started
+    max_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    conn.send({"wall_s": round(elapsed, 3), "max_rss_mb":
+               round(max_rss_kb / 1024, 1), "payload": payload})
+    conn.close()
+
+
+def measure(target, **kwargs):
+    """Run ``target(**kwargs)`` in a fresh process; return timing + result.
+
+    A subprocess per measurement keeps one phase's RSS high-water mark
+    from contaminating the next — essential for the flatness gate.
+    """
+    parent, child = multiprocessing.Pipe(duplex=False)
+    proc = multiprocessing.Process(target=_measure_in_child,
+                                   args=(target, kwargs, child))
+    proc.start()
+    child.close()
+    result = parent.recv()
+    proc.join()
+    if proc.exitcode != 0:
+        raise RuntimeError(f"benchmark child failed: {target.__name__}")
+    return result
+
+
+# ----------------------------------------------------------- child workloads
+def _tiers_sweep_json(jobs, file_bytes):
+    from repro.experiments import runner
+
+    result = runner.run_experiment("ablation-storage-tiers", jobs=jobs,
+                                   seed=0, params={"file_bytes": file_bytes})
+    return {"json": runner.canonical_json(result), "series": result.series}
+
+
+def _mixed_cluster_digest(file_bytes):
+    """Write hot + cold datasets on a mixed-tier cluster; digest streams."""
+    from repro.cluster import VirtualHadoopCluster, rack_cluster
+    from repro.storage.content import PatternSource
+
+    topology = rack_cluster(n_racks=2, hosts_per_rack=1,
+                            storage=("hdd", "nvme"))
+    cluster = VirtualHadoopCluster(topology=topology,
+                                   block_size=max(file_bytes // 2, 1 << 20))
+
+    def load():
+        yield from cluster.write_dataset(
+            "/bench/cold", PatternSource(file_bytes, seed=90))
+        yield from cluster.write_dataset(
+            "/bench/hot", PatternSource(file_bytes, seed=91), hot=True)
+
+    cluster.run(cluster.sim.process(load()))
+    hot_block = cluster.namenode.get_blocks("/bench/hot")[0]
+    return {"digest": cluster.stream_layer.digest(),
+            "mapped_blocks": cluster.stream_layer.mapped_blocks,
+            "hot_first_location": hot_block.locations[0],
+            "now": cluster.sim.now}
+
+
+def _stream_append_run(records):
+    """``records`` virtual appends into a retain=False stream layer.
+
+    4 KB records keep the extent count tiny (~60 extents at 10^6
+    records), so the flatness gate isolates *per-record* state — the
+    claim under test.  Per-extent metadata is O(bytes / extent size) by
+    design and would dominate with block-sized records.
+    """
+    from repro.storage.stream import StreamLayer
+
+    layer = StreamLayer(["dn1", "dn2", "dn3"], replication=2,
+                        extent_bytes=64 << 20)
+    started = time.monotonic()
+    for index in range(records):
+        layer.get_or_create(f"/f{index % 16}").append_virtual(
+            4 << 10, fingerprint=index.to_bytes(8, "big"))
+    elapsed = time.monotonic() - started
+    return {"records": records, "wall_s": round(elapsed, 3),
+            "appends_per_s": round(records / elapsed),
+            "digest": layer.digest()}
+
+
+# ------------------------------------------------------------------- phases
+def phase_determinism(report, failures, quick):
+    file_bytes = (2 if quick else 8) << 20
+    serial = measure(_tiers_sweep_json, jobs=1, file_bytes=file_bytes)
+    parallel = measure(_tiers_sweep_json, jobs=2 if quick else 4,
+                       file_bytes=file_bytes)
+    identical = serial["payload"]["json"] == parallel["payload"]["json"]
+    report["tiers_sweep_jobs"] = {
+        "byte_identical": identical,
+        "wall_serial_s": serial["wall_s"],
+        "wall_parallel_s": parallel["wall_s"],
+        "json_bytes": len(serial["payload"]["json"]),
+    }
+    if not identical:
+        failures.append(
+            "ablation-storage-tiers --jobs N diverged from the serial run")
+
+    repeat = measure(_mixed_cluster_digest, file_bytes=file_bytes)
+    again = measure(_mixed_cluster_digest, file_bytes=file_bytes)
+    same = repeat["payload"] == again["payload"]
+    report["mixed_cluster_digest"] = {
+        "repeat_identical": same,
+        "mapped_blocks": repeat["payload"]["mapped_blocks"],
+        "hot_first_location": repeat["payload"]["hot_first_location"],
+    }
+    if not same:
+        failures.append("mixed-tier cluster run not reproducible "
+                        "(stream digest or timeline drifted)")
+    if repeat["payload"]["hot_first_location"] != "dn2":
+        failures.append(
+            "hot dataset's first replica missed the fast tier: "
+            f"{repeat['payload']['hot_first_location']!r} (expected 'dn2')")
+    print(f"  determinism: tiers-sweep jobs byte-identical={identical}, "
+          f"mixed-cluster repeat={same}")
+
+    series = serial["payload"]["series"]
+    ordered = all(series[f"{mode} cold"][0] < series[f"{mode} cold"][1]
+                  < series[f"{mode} cold"][2]
+                  for mode in ("vanilla", "vRead"))
+    gains = [series["vRead cold"][i] / series["vanilla cold"][i]
+             for i in range(3)]
+    crossover = gains[0] < gains[-1]
+    report["tier_ordering"] = {
+        "cold_ranks_hdd_ssd_nvme": ordered,
+        "vread_gain_by_tier": [round(g, 3) for g in gains],
+        "gain_grows_with_media_speed": crossover,
+    }
+    if not ordered:
+        failures.append("cold-read throughput does not rank hdd < ssd < nvme")
+    if not crossover:
+        failures.append(
+            f"vRead cold-read gain should grow with media speed, got "
+            f"{gains} (hdd -> nvme)")
+    print(f"  tier ordering: ranks ok={ordered}, vRead gain hdd->nvme "
+          f"{gains[0]:.2f}x -> {gains[-1]:.2f}x")
+
+
+def phase_rss_flatness(report, failures):
+    small = measure(_stream_append_run, records=10_000)
+    large = measure(_stream_append_run, records=1_000_000)
+    ratio = large["max_rss_mb"] / small["max_rss_mb"]
+    report["stream_rss_flatness"] = {
+        "rss_small_mb": small["max_rss_mb"],
+        "rss_large_mb": large["max_rss_mb"],
+        "rss_ratio": round(ratio, 3),
+        "limit": RSS_FLATNESS_LIMIT,
+        "wall_small_s": small["wall_s"],
+        "wall_large_s": large["wall_s"],
+    }
+    if ratio >= RSS_FLATNESS_LIMIT:
+        failures.append(
+            f"stream-append RSS not flat: 1e6-record run used {ratio:.2f}x "
+            f"the memory of the 1e4-record run (limit "
+            f"{RSS_FLATNESS_LIMIT}x)")
+    print(f"  rss: 1e4 records {small['max_rss_mb']}MB, 1e6 records "
+          f"{large['max_rss_mb']}MB (ratio {ratio:.2f}, "
+          f"limit {RSS_FLATNESS_LIMIT})")
+
+
+def phase_throughput(report, quick):
+    records = 200_000 if quick else 1_000_000
+    result = measure(_stream_append_run, records=records)
+    report["stream_append_throughput"] = {
+        "records": result["payload"]["records"],
+        "wall_s": result["payload"]["wall_s"],
+        "appends_per_s": result["payload"]["appends_per_s"],
+    }
+    print(f"  stream appends: "
+          f"{result['payload']['appends_per_s']:,} records/s")
+
+
+# --------------------------------------------------------------------- main
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller determinism/throughput phases (CI)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report to PATH")
+    args = parser.parse_args(argv)
+
+    report = {
+        "bench": "pr8-tiered-storage",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    failures = []
+    print("Determinism gates (device tiers, stream digests):")
+    phase_determinism(report, failures, args.quick)
+    print("RSS flatness (retain=False stream appends):")
+    phase_rss_flatness(report, failures)
+    print("Stream-append throughput:")
+    phase_throughput(report, args.quick)
+
+    report["failures"] = failures
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

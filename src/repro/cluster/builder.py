@@ -24,6 +24,8 @@ from dataclasses import dataclass, fields as dataclass_fields
 from typing import Dict, List, Optional, Union
 
 from repro.cluster.topology import TopologySpec, paper_fig10
+from repro.storage.device import DeviceProfile, resolve_profile
+from repro.storage.stream import StreamLayer
 from repro.core import VReadManager
 from repro.core.integration import VReadDfsClient
 from repro.faults import FaultInjector, FaultPlan
@@ -85,6 +87,11 @@ class ClusterConfig:
     #: :func:`~repro.cluster.topology.rack_cluster` or hand-built spec for
     #: anything else.  Mutually exclusive with the layout knobs.
     topology: Optional[TopologySpec] = None
+    #: Default storage tier for every host: a profile name ("hdd" / "ssd"
+    #: / "nvme"), a :class:`~repro.storage.device.DeviceProfile`, or None
+    #: for the paper's SSD.  Per-host ``HostSpec(storage=...)``
+    #: declarations in the topology override this default.
+    storage: Optional[Union[str, DeviceProfile]] = None
 
     @classmethod
     def from_kwargs(cls, **kwargs) -> "ClusterConfig":
@@ -122,6 +129,8 @@ class ClusterConfig:
             self.topology = paper_fig10(
                 n_hosts=self.n_hosts, n_datanodes=self.n_datanodes,
                 total_vms_per_host=self.total_vms_per_host)
+        # Fail fast on storage typos (did-you-mean, like from_kwargs).
+        resolve_profile(self.storage)
 
 
 class ClusterClients:
@@ -212,7 +221,10 @@ class VirtualHadoopCluster:
                 host = PhysicalHost(self.sim, host_spec.name,
                                     cores=config.cores_per_host,
                                     frequency_hz=config.frequency_hz,
-                                    costs=self.costs)
+                                    costs=self.costs,
+                                    storage=(host_spec.storage
+                                             if host_spec.storage is not None
+                                             else config.storage))
                 self.lan.attach(host, rack=rack.name)
                 self.hosts.append(host)
                 self._hosts_by_name[host_spec.name] = host
@@ -243,6 +255,15 @@ class VirtualHadoopCluster:
             Datanode(vm_spec.datanode_id, vm, self.namenode, self.network)
             for (_, _, vm_spec), vm in zip(datanode_placements,
                                            self.datanode_vms)]
+
+        #: The append-only stream layer shadowing HDFS: every committed
+        #: block maps onto an extent of its file's stream.  Bookkeeping
+        #: only — it creates no simulator events, so golden timelines are
+        #: unaffected.
+        self.stream_layer = StreamLayer(
+            [datanode.datanode_id for datanode in self.datanodes],
+            replication=config.replication,
+            extent_bytes=config.block_size).attach(self.namenode)
 
         self.aux_vms: List[VirtualMachine] = [
             self._place(host_spec, vm_spec)
@@ -350,11 +371,12 @@ class VirtualHadoopCluster:
 
     # ------------------------------------------------------------------- data
     def write_dataset(self, path: str, source, favored=None,
-                      spread: bool = False, replication: Optional[int] = None):
+                      spread: bool = False, replication: Optional[int] = None,
+                      hot: bool = False):
         """Generator: load a dataset through the vanilla write path."""
         yield from self._vanilla_client.write_file(
             path, source, replication=replication, favored=favored,
-            spread=spread)
+            spread=spread, hot=hot)
 
     def __repr__(self) -> str:
         mode = "vRead" if self.config.vread else "vanilla"

@@ -32,7 +32,9 @@ Two factory presets cover the common cases:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.storage.device import DeviceProfile, resolve_profile
 
 #: Valid :attr:`VmSpec.role` values.
 ROLES = ("client", "datanode", "background", "aux")
@@ -69,10 +71,19 @@ class VmSpec:
 
 @dataclass
 class HostSpec:
-    """One physical host and the VMs placed on it."""
+    """One physical host and the VMs placed on it.
+
+    ``storage`` declares the host's device tier — a profile name
+    (``"hdd"`` / ``"ssd"`` / ``"nvme"``), a
+    :class:`~repro.storage.device.DeviceProfile`, or ``None`` to inherit
+    the cluster default (the paper's SSD).  Mixing tiers across hosts is
+    how heterogeneous layouts are declared; the HDFS placement policy
+    can then steer hot blocks onto the fast media.
+    """
 
     name: str
     vms: List[VmSpec] = field(default_factory=list)
+    storage: Optional[Union[str, DeviceProfile]] = None
 
     def add(self, vm: VmSpec) -> "HostSpec":
         self.vms.append(vm)
@@ -129,6 +140,12 @@ class TopologySpec:
                     raise TopologyError(
                         f"duplicate host name {host.name!r}")
                 host_names.add(host.name)
+                if host.storage is not None:
+                    try:
+                        resolve_profile(host.storage)
+                    except (KeyError, TypeError) as exc:
+                        raise TopologyError(
+                            f"host {host.name!r}: {exc}")
                 for vm in host.vms:
                     if vm.name in vm_names:
                         raise TopologyError(
@@ -168,6 +185,17 @@ class TopologySpec:
                 for vm in host.vms
                 if role is None or vm.role == role]
 
+    def tiers(self) -> List[str]:
+        """The explicitly declared storage tiers, sorted (may be empty).
+
+        Hosts with ``storage=None`` inherit the cluster default and are
+        not listed; a non-empty result on some-but-not-all hosts means a
+        heterogeneous layout.
+        """
+        return sorted({resolve_profile(host.storage).tier
+                       for host in self.hosts()
+                       if host.storage is not None})
+
     def rack_of(self, host_name: str) -> str:
         for rack in self.racks:
             for host in rack.hosts:
@@ -201,7 +229,9 @@ class TopologySpec:
                 vms = ", ".join(
                     f"{vm.name}[{vm.datanode_id}]" if vm.datanode_id
                     else f"{vm.name}({vm.role})" for vm in host.vms)
-                lines.append(f"  {host.name}: {vms or '(empty)'}")
+                tier = ("" if host.storage is None
+                        else f" <{resolve_profile(host.storage).tier}>")
+                lines.append(f"  {host.name}{tier}: {vms or '(empty)'}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -266,8 +296,10 @@ def paper_fig10(n_hosts: int = 2, n_datanodes: Optional[int] = None,
 
 def rack_cluster(n_racks: int, hosts_per_rack: int,
                  datanodes_per_host: int = 1, clients: int = 1,
-                 oversubscription: float = DEFAULT_OVERSUBSCRIPTION
-                 ) -> TopologySpec:
+                 oversubscription: float = DEFAULT_OVERSUBSCRIPTION,
+                 storage: Optional[Union[str, DeviceProfile,
+                                         Sequence[Union[str, DeviceProfile]]]]
+                 = None) -> TopologySpec:
     """A multi-rack scale-out layout.
 
     Racks ``rack1``..``rackN`` each hold ``hosts_per_rack`` hosts (named
@@ -276,6 +308,12 @@ def rack_cluster(n_racks: int, hosts_per_rack: int,
     placed round-robin across all hosts starting at host 1 — so the first
     client is co-located with ``datanode1``, matching the paper's layout
     in the degenerate ``n_racks=1, hosts_per_rack=2`` case.
+
+    ``storage`` declares device tiers: one profile (name or
+    :class:`~repro.storage.device.DeviceProfile`) applies to every host,
+    a sequence gives one profile *per rack* — ``storage=("nvme", "hdd")``
+    is a mixed fast/slow two-rack layout.  ``None`` keeps the cluster
+    default (SSD).
     """
     if n_racks < 1:
         raise TopologyError(f"need at least 1 rack: {n_racks}")
@@ -290,6 +328,15 @@ def rack_cluster(n_racks: int, hosts_per_rack: int,
             f"need at least 1 datanode per host: {datanodes_per_host}")
     if clients < 1:
         raise TopologyError(f"need at least 1 client VM: {clients}")
+    if storage is None or isinstance(storage, (str, DeviceProfile)):
+        rack_storage: List = [storage] * n_racks
+    else:
+        rack_storage = list(storage)
+        if len(rack_storage) != n_racks:
+            raise TopologyError(
+                f"storage declares {len(rack_storage)} rack tier(s) for "
+                f"{n_racks} rack(s); pass one profile per rack (or a "
+                f"single profile for all)")
 
     racks: List[RackSpec] = []
     host_specs: List[HostSpec] = []
@@ -297,7 +344,7 @@ def rack_cluster(n_racks: int, hosts_per_rack: int,
     for r in range(n_racks):
         rack = RackSpec(f"rack{r + 1}")
         for _ in range(hosts_per_rack):
-            host = HostSpec(f"host{host_no}")
+            host = HostSpec(f"host{host_no}", storage=rack_storage[r])
             host_no += 1
             rack.hosts.append(host)
             host_specs.append(host)

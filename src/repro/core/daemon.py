@@ -24,7 +24,7 @@ from repro.metrics.accounting import LOOP_DEVICE, OTHERS
 from repro.net.rdma import RdmaError
 from repro.sim import Interrupt
 from repro.storage.content import SliceSource
-from repro.storage.disk import DiskError
+from repro.storage.device import DiskError
 from repro.storage.filesystem import FsError, InodeRangeSource
 from repro.storage.image import DiskImage
 
@@ -164,7 +164,7 @@ class VReadHostService:
             except FsError as exc:
                 return False, None, str(exc)
             try:
-                yield from self.host.ssd.read(length)
+                yield from self.host.storage.read(length, offset=offset)
             except DiskError as exc:
                 return False, None, str(exc)
             return True, InodeRangeSource(inode, offset, length), ""
@@ -180,7 +180,7 @@ class VReadHostService:
                 self.costs.host_fs_read_cycles_per_byte * length,
                 LOOP_DEVICE)
             try:
-                yield from self.host.ssd.read(missing)
+                yield from self.host.storage.read(missing, offset=offset)
             except DiskError as exc:
                 return False, None, str(exc)
             self.host.page_cache.insert(key, offset, length)

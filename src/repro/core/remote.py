@@ -33,7 +33,7 @@ from repro.metrics.accounting import VREAD_NET
 from repro.net.lan import CROSS_RACK, host_distance
 from repro.net.rdma import RdmaError
 from repro.sim import Lock, Store
-from repro.storage.disk import DiskError
+from repro.storage.device import DiskError
 from repro.storage.filesystem import FsError
 
 #: Default budget for one remote roundtrip (sim seconds).  Generous against

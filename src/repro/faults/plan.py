@@ -64,6 +64,29 @@ def _find_vm(cluster, name: Optional[str]):
         f"{[d.datanode_id for d in cluster.datanodes]})")
 
 
+def _find_devices(cluster, host_name: Optional[str], tier: Optional[str]):
+    """Resolve disk-fault targets: one host's device, or a whole tier's.
+
+    ``tier`` selects every host whose storage device is of that class
+    (``"hdd"`` / ``"ssd"`` / ``"nvme"``) — how a plan degrades "all the
+    cold-tier disks" without naming hosts.  Mutually exclusive with
+    ``host_name``.
+    """
+    if tier is not None:
+        if host_name is not None:
+            raise ValueError(
+                "pass either host_name or tier, not both "
+                f"({host_name!r} and {tier!r})")
+        devices = [host.storage for host in cluster.hosts
+                   if host.storage.profile.tier == tier]
+        if not devices:
+            raise ValueError(
+                f"no host has a {tier!r} storage device; cluster tiers: "
+                f"{sorted({h.storage.profile.tier for h in cluster.hosts})}")
+        return devices
+    return [_find_host(cluster, host_name).storage]
+
+
 def _daemon_for(cluster, vm_name: Optional[str]):
     manager = cluster.vread_manager
     if manager is None:
@@ -167,38 +190,51 @@ class RdmaFlap(Fault):
 
 @dataclass
 class DiskLatencySpike(Fault):
-    """A host's SSD slows by ``factor`` (noisy neighbour / flaky disk)."""
+    """A host's storage device slows by ``factor`` (noisy neighbour /
+    flaky disk).  ``tier="hdd"`` targets every device of that class
+    instead of one host."""
     host_name: Optional[str] = None
     factor: float = 10.0
     duration: float = 1.0
+    tier: Optional[str] = None
     label = "disk-latency-spike"
 
     def describe(self) -> str:
-        return (f"{self.label}({self.host_name or 'first-host'}"
-                f"x{self.factor:g})")
+        target = (f"tier:{self.tier}" if self.tier
+                  else self.host_name or "first-host")
+        return f"{self.label}({target}x{self.factor:g})"
 
     def inject(self, cluster, counters):
-        host = _find_host(cluster, self.host_name)
-        host.ssd.set_latency_factor(self.factor)
+        devices = _find_devices(cluster, self.host_name, self.tier)
+        for device in devices:
+            device.set_latency_factor(self.factor)
         yield cluster.sim.timeout(self.duration)
-        host.ssd.set_latency_factor(1.0)
+        for device in devices:
+            device.set_latency_factor(1.0)
 
 
 @dataclass
 class DiskOutage(Fault):
-    """A host's SSD fails every request with ``DiskError``."""
+    """A host's storage device fails every request with ``DiskError``.
+    ``tier="hdd"`` targets every device of that class instead of one
+    host."""
     host_name: Optional[str] = None
     duration: float = 0.5
+    tier: Optional[str] = None
     label = "disk-outage"
 
     def describe(self) -> str:
-        return f"{self.label}({self.host_name or 'first-host'})"
+        target = (f"tier:{self.tier}" if self.tier
+                  else self.host_name or "first-host")
+        return f"{self.label}({target})"
 
     def inject(self, cluster, counters):
-        host = _find_host(cluster, self.host_name)
-        host.ssd.set_failing(True)
+        devices = _find_devices(cluster, self.host_name, self.tier)
+        for device in devices:
+            device.set_failing(True)
         yield cluster.sim.timeout(self.duration)
-        host.ssd.set_failing(False)
+        for device in devices:
+            device.set_failing(False)
 
 
 @dataclass

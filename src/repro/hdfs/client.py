@@ -97,14 +97,16 @@ class DfsClient:
 
     def create(self, path: str, replication: Optional[int] = None,
                favored: Optional[Sequence[str]] = None,
-               spread: bool = False):
+               spread: bool = False, hot: bool = False):
         """Generator: create ``path`` for writing; returns a DfsOutputStream.
 
         ``spread=True`` lays blocks out round-robin across datanodes (the
         paper's hybrid scenario) instead of preferring the co-located one.
+        ``hot=True`` marks the file as hot data: on a mixed-tier cluster
+        the placement policy steers its blocks onto the fastest media.
         """
         yield from self.namenode.rpc(self.vm)
-        self.namenode.create_file(path, replication, spread)
+        self.namenode.create_file(path, replication, spread, hot)
         return DfsOutputStream(self, path, favored)
 
     def delete(self, path: str):
@@ -122,9 +124,10 @@ class DfsClient:
     def write_file(self, path: str, content: Union[bytes, ByteSource],
                    replication: Optional[int] = None,
                    favored: Optional[Sequence[str]] = None,
-                   spread: bool = False):
+                   spread: bool = False, hot: bool = False):
         """Generator: create ``path`` and write ``content`` in one shot."""
-        stream = yield from self.create(path, replication, favored, spread)
+        stream = yield from self.create(path, replication, favored, spread,
+                                        hot)
         yield from stream.write(content)
         yield from stream.close()
 

@@ -23,7 +23,7 @@ from repro.hdfs.protocol import (
 from repro.metrics.accounting import OTHERS
 from repro.net.tcp import VmNetwork
 from repro.sim import Interrupt
-from repro.storage.disk import DiskError
+from repro.storage.device import DiskError
 from repro.storage.filesystem import FsError
 from repro.virt.vm import VirtualMachine
 

@@ -62,9 +62,10 @@ class JournaledNamenode(Namenode):
         self.edit_log = EditLog()
 
     # ------------------------------------------------------------- mutations
-    def create_file(self, path, replication=None, spread=False):
-        meta = super().create_file(path, replication, spread)
-        self.edit_log.append("create", path, (meta.replication, meta.spread))
+    def create_file(self, path, replication=None, spread=False, hot=False):
+        meta = super().create_file(path, replication, spread, hot)
+        self.edit_log.append("create", path,
+                             (meta.replication, meta.spread, meta.hot))
         return meta
 
     def allocate_block(self, path, client_vm, favored=None):
@@ -95,6 +96,7 @@ class JournaledNamenode(Namenode):
                 path: {
                     "replication": meta.replication,
                     "spread": meta.spread,
+                    "hot": meta.hot,
                     "complete": meta.complete,
                     "blocks": [
                         {"block_id": b.block_id, "index": b.index,
@@ -132,7 +134,8 @@ def replay_into(namenode: Namenode, source: JournaledNamenode) -> None:
     # --- restore the fsimage.
     for path, file_state in snapshot["files"].items():
         meta = FileMeta(path, file_state["replication"],
-                        file_state["spread"])
+                        file_state["spread"],
+                        file_state.get("hot", False))
         meta.complete = file_state["complete"]
         for block_state in file_state["blocks"]:
             block = Block(block_state["block_id"], path,
@@ -147,9 +150,11 @@ def replay_into(namenode: Namenode, source: JournaledNamenode) -> None:
     # --- replay edits after the checkpoint.
     for entry in source.edit_log.entries_after(base_txid):
         if entry.op == "create":
-            replication, spread = entry.payload
+            # Pre-tiering journals used a 2-tuple payload without ``hot``.
+            replication, spread = entry.payload[:2]
+            hot = entry.payload[2] if len(entry.payload) > 2 else False
             namenode._files[entry.path] = FileMeta(entry.path, replication,
-                                                   spread)
+                                                   spread, hot)
         elif entry.op == "add_block":
             block_id, locations = entry.payload
             meta = namenode._files[entry.path]

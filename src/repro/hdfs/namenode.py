@@ -30,9 +30,11 @@ class HdfsError(Exception):
 class FileMeta:
     """Metadata of one HDFS file."""
 
-    __slots__ = ("path", "blocks", "complete", "replication", "spread")
+    __slots__ = ("path", "blocks", "complete", "replication", "spread",
+                 "hot")
 
-    def __init__(self, path: str, replication: int, spread: bool = False):
+    def __init__(self, path: str, replication: int, spread: bool = False,
+                 hot: bool = False):
         self.path = path
         self.blocks: List[Block] = []
         self.complete = False
@@ -40,6 +42,9 @@ class FileMeta:
         #: Spread first replicas round-robin (hybrid layout) instead of
         #: preferring the co-located datanode.
         self.spread = spread
+        #: Hot data: on a mixed-tier cluster the placement policy steers
+        #: this file's blocks onto the fastest storage media.
+        self.hot = hot
 
     @property
     def length(self) -> int:
@@ -100,10 +105,11 @@ class Namenode:
 
     # --------------------------------------------------------------- namespace
     def create_file(self, path: str, replication: Optional[int] = None,
-                    spread: bool = False) -> FileMeta:
+                    spread: bool = False, hot: bool = False) -> FileMeta:
         if path in self._files:
             raise HdfsError(f"file exists: {path!r}")
-        meta = FileMeta(path, replication or self.config.replication, spread)
+        meta = FileMeta(path, replication or self.config.replication, spread,
+                        hot)
         self._files[path] = meta
         return meta
 
@@ -147,7 +153,8 @@ class Namenode:
                       offset=meta.length)
         self._next_block_id += 1
         block.locations = self.policy.choose_targets(
-            client_vm, meta.replication, favored, spread=meta.spread)
+            client_vm, meta.replication, favored, spread=meta.spread,
+            hot=meta.hot)
         meta.blocks.append(block)
         self._blocks[block.name] = block
         return block

@@ -40,7 +40,7 @@ class PlacementPolicy:
     # ----------------------------------------------------------------- writes
     def choose_targets(self, client_vm, replication: int,
                        favored: Optional[Sequence[str]] = None,
-                       spread: bool = False) -> List[str]:
+                       spread: bool = False, hot: bool = False) -> List[str]:
         """Datanode ids for a new block's replica pipeline.
 
         Order of preference: explicitly favored datanodes, then a co-located
@@ -51,6 +51,12 @@ class PlacementPolicy:
         replicas round-robin over all datanodes — how the paper's *hybrid*
         datasets (read from both the co-located and the remote datanode)
         are laid out.
+
+        ``hot=True`` enables tier-aware placement on a mixed-media cluster:
+        replicas fill fastest storage tiers first (stable round-robin
+        within a tier), and the co-located preference only holds when the
+        co-located datanode sits on the fastest tier.  On a homogeneous
+        cluster ``hot`` is a no-op, so single-tier layouts are unchanged.
         """
         datanodes = [dn_id for dn_id in self.namenode.datanode_ids()
                      if dn_id not in self.namenode.excluded_datanodes]
@@ -59,6 +65,9 @@ class PlacementPolicy:
         if replication > len(datanodes):
             raise RuntimeError(
                 f"replication {replication} exceeds {len(datanodes)} datanodes")
+        ranks = {dn: self._tier_rank(dn) for dn in datanodes} if hot else {}
+        tiered = hot and len(set(ranks.values())) > 1
+        fastest = max(ranks.values()) if tiered else None
         chosen: List[str] = []
         if favored:
             for dn_id in favored:
@@ -70,12 +79,18 @@ class PlacementPolicy:
                     return chosen
         if not spread:
             local = self._co_located(client_vm, datanodes)
+            if tiered and local is not None and ranks[local] != fastest:
+                local = None  # hot data skips a slow co-located datanode
             if local is not None and local not in chosen:
                 chosen.append(local)
         # Remaining slots fill from a round-robin rotation for even spread.
         ordered = datanodes[self._write_cursor:] + datanodes[:self._write_cursor]
         self._write_cursor = (self._write_cursor + 1) % len(datanodes)
-        if not spread and len({self._rack_of(dn) for dn in datanodes}) > 1:
+        if tiered:
+            # Fast media first; sort stability keeps the round-robin order
+            # within each tier, so load still spreads across same-tier nodes.
+            ordered = sorted(ordered, key=lambda dn: -ranks[dn])
+        elif not spread and len({self._rack_of(dn) for dn in datanodes}) > 1:
             self._rack_aware_fill(chosen, ordered, replication)
         for dn_id in ordered:
             if len(chosen) == replication:
@@ -83,6 +98,10 @@ class PlacementPolicy:
             if dn_id not in chosen:
                 chosen.append(dn_id)
         chosen = chosen[:replication]
+        if tiered and self.counters is not None:
+            self.counters.count(
+                "placement.hot", replicas=len(chosen),
+                fast=sum(1 for dn in chosen if ranks[dn] == fastest))
         self._count_placement(chosen, replication)
         return chosen
 
@@ -144,6 +163,12 @@ class PlacementPolicy:
     # ---------------------------------------------------------------- helpers
     def _rack_of(self, dn_id: str) -> Optional[str]:
         return getattr(self.namenode.datanode(dn_id).vm.host, "rack", None)
+
+    def _tier_rank(self, dn_id: str) -> int:
+        """Speed rank of the storage backing a datanode (higher = faster)."""
+        storage = getattr(self.namenode.datanode(dn_id).vm.host,
+                          "storage", None)
+        return storage.profile.rank if storage is not None else 0
 
     def _co_located(self, client_vm, datanodes: Sequence[str]) -> Optional[str]:
         for dn_id in datanodes:

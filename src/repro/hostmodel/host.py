@@ -1,8 +1,10 @@
-"""The physical machine: cores + scheduler + SSD + host page cache.
+"""The physical machine: cores + scheduler + storage + host page cache.
 
 Matches the paper's testbed node: quad-core Xeon (frequency settable to
-1.6/2.0/3.2 GHz via cpufreq), one SSD holding all VM disk images, a 10 Gbps
-RoCE NIC (attached by the network layer), running KVM.
+1.6/2.0/3.2 GHz via cpufreq), one storage device holding all VM disk
+images (the paper's SSD by default; any
+:class:`~repro.storage.device.DeviceProfile` tier via ``storage=``), a
+10 Gbps RoCE NIC (attached by the network layer), running KVM.
 """
 
 from __future__ import annotations
@@ -13,7 +15,12 @@ from repro.hostmodel.costs import CostModel
 from repro.hostmodel.cpu import CpuScheduler, Thread
 from repro.metrics.accounting import CpuAccounting
 from repro.sim import Simulator
-from repro.storage.disk import SsdDevice
+from repro.storage.device import (
+    ProfileLike,
+    StorageDevice,
+    make_device,
+    resolve_profile,
+)
 from repro.storage.image import DiskImage
 from repro.storage.loopdev import LoopMount
 from repro.storage.pagecache import PageCache
@@ -25,7 +32,8 @@ class PhysicalHost:
     def __init__(self, sim: Simulator, name: str, cores: int = 4,
                  frequency_hz: float = 3.2e9,
                  costs: Optional[CostModel] = None,
-                 host_cache_bytes: float = float("inf")):
+                 host_cache_bytes: float = float("inf"),
+                 storage: ProfileLike = None):
         self.sim = sim
         self.name = name
         self.costs = costs or CostModel()
@@ -33,7 +41,12 @@ class PhysicalHost:
         self.scheduler = CpuScheduler(sim, cores, frequency_hz,
                                       self.accounting, self.costs,
                                       name=f"{name}.sched")
-        self.ssd = SsdDevice(sim, self.costs, name=f"{name}.ssd")
+        profile = resolve_profile(storage)
+        #: The host's image-holding block device (SSD unless the topology
+        #: declares another tier).
+        self.storage: StorageDevice = make_device(
+            sim, profile, costs=self.costs,
+            name=f"{name}.{profile.tier}")
         #: Host kernel page cache over VM disk-image pages.
         self.page_cache = PageCache(host_cache_bytes, name=f"{name}.pagecache")
         #: VMs placed on this host (appended by the virt layer).
@@ -44,6 +57,17 @@ class PhysicalHost:
         self.nic = None
         #: Rack name (stamped by the network layer; None = unattached).
         self.rack: Optional[str] = None
+
+    # --------------------------------------------------------------- storage
+    @property
+    def ssd(self) -> StorageDevice:
+        """Legacy name for :attr:`storage` (pre-profile code paths)."""
+        return self.storage
+
+    @property
+    def storage_tier(self) -> str:
+        """The device-class name of this host's storage ("ssd", ...)."""
+        return self.storage.profile.tier
 
     # ------------------------------------------------------------------ CPU
     @property

@@ -49,6 +49,17 @@ class ZipfKeys:
         """Draw one key (0-based rank)."""
         return bisect.bisect_left(self._cdf, rng.random())
 
+    def hot_prefix(self, mass: float) -> int:
+        """Smallest number of head keys covering ``mass`` of the traffic.
+
+        Tiered storage uses this to size the hot set: with ``mass=0.8``
+        the returned prefix of rank-ordered keys absorbs at least 80% of
+        the accesses and is the slice worth pinning to fast media.
+        """
+        if not 0.0 < mass <= 1.0:
+            raise ValueError(f"mass must be in (0, 1]: {mass}")
+        return min(bisect.bisect_left(self._cdf, mass) + 1, self.n_keys)
+
     def __repr__(self) -> str:
         return f"<ZipfKeys n={self.n_keys} s={self.s}>"
 

@@ -1,8 +1,14 @@
-"""Storage substrate: SSD, page caches, filesystem, disk images, loop mounts.
+"""Storage substrate: devices, page caches, filesystem, images, streams.
 
 Layers (bottom up):
 
-* :class:`~repro.storage.disk.SsdDevice` — a bandwidth/latency device model.
+* :class:`~repro.storage.device.StorageDevice` — a profile-driven device
+  model (:func:`~repro.storage.device.make_device` builds HDD/SSD/NVMe
+  tiers from a declarative :class:`~repro.storage.device.DeviceProfile`;
+  the old ``SsdDevice`` name is a deprecated alias).
+* :class:`~repro.storage.stream.StreamLayer` — an append-only replicated
+  stream layer (streams as ordered extent lists, sealed extents, atomic
+  appends) that HDFS blocks map onto.
 * :class:`~repro.storage.pagecache.PageCache` — LRU page cache; both the
   host kernel and every guest kernel own one.  Cache hits skip device time
   but still pay copy costs, which is exactly what makes the paper's re-read
@@ -23,6 +29,17 @@ Layers (bottom up):
 """
 
 from repro.storage.content import ByteSource, LiteralSource, PatternSource, ZeroSource
+from repro.storage.device import (
+    DEVICE_PROFILES,
+    DeviceProfile,
+    DiskError,
+    HDD_PROFILE,
+    NVME_PROFILE,
+    SSD_PROFILE,
+    StorageDevice,
+    make_device,
+    resolve_profile,
+)
 from repro.storage.disk import SsdDevice
 from repro.storage.filesystem import (
     FileHandle,
@@ -33,18 +50,39 @@ from repro.storage.filesystem import (
 from repro.storage.image import DiskImage
 from repro.storage.loopdev import LoopMount
 from repro.storage.pagecache import PageCache
+from repro.storage.stream import (
+    Extent,
+    ExtentPlacement,
+    Stream,
+    StreamError,
+    StreamLayer,
+)
 
 __all__ = [
     "ByteSource",
+    "DEVICE_PROFILES",
+    "DeviceProfile",
+    "DiskError",
     "DiskImage",
+    "Extent",
+    "ExtentPlacement",
     "FileHandle",
     "FileSystem",
     "FsError",
+    "HDD_PROFILE",
     "Inode",
     "LiteralSource",
     "LoopMount",
+    "NVME_PROFILE",
     "PageCache",
     "PatternSource",
+    "SSD_PROFILE",
     "SsdDevice",
+    "StorageDevice",
+    "Stream",
+    "StreamError",
+    "StreamLayer",
     "ZeroSource",
+    "make_device",
+    "resolve_profile",
 ]

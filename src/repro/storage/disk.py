@@ -1,96 +1,34 @@
-"""SSD device model: a FIFO-served device with per-request latency and
-bandwidth-limited transfer time.
+"""Deprecated home of the SSD device model.
 
-The device itself burns no CPU — DMA moves the data; CPU costs of the
-layers above (virtio, page cache copies) are charged by those layers.
+The storage stack is profile-driven now (:mod:`repro.storage.device`):
+:func:`~repro.storage.device.make_device` builds HDD/SSD/NVMe devices
+from a declarative :class:`~repro.storage.device.DeviceProfile`.
+:class:`SsdDevice` remains as a thin alias for the default SSD tier so
+old construction sites keep working, at the price of a
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
-from repro.sim import Resource, Simulator
+from repro.sim import Simulator
+from repro.storage.device import DiskError, SSD_PROFILE, StorageDevice
+
+__all__ = ["DiskError", "SsdDevice"]
 
 
-class DiskError(Exception):
-    """An injected (or modelled) device-level I/O error."""
+class SsdDevice(StorageDevice):
+    """Deprecated alias: an SSD-profile :class:`StorageDevice`.
 
-
-class SsdDevice:
-    """A single SSD with sequential bandwidth and fixed per-request latency.
-
-    Fault-injection knobs (driven by :mod:`repro.faults`): a *latency
-    factor* scales service time (noisy-neighbour / flaky-virtual-disk
-    spikes) and a *failing* device raises :class:`DiskError` on every
-    request, which the layers above translate into replica failover or a
-    vRead fallback.
+    Use ``make_device(sim, "ssd", costs, name)`` instead; this shim keeps
+    the pre-profile constructor signature and timing byte-identical.
     """
 
     def __init__(self, sim: Simulator, costs=None, name: str = "ssd"):
-        # Imported here to keep repro.storage importable without touching
-        # repro.hostmodel's package __init__ (which imports storage back).
-        from repro.hostmodel.costs import CostModel
-
-        self.sim = sim
-        self.costs = costs or CostModel()
-        self.name = name
-        self._channel = Resource(sim, capacity=1)
-        #: Total bytes transferred (reads + writes), for reporting.
-        self.bytes_read = 0
-        self.bytes_written = 0
-        self.requests = 0
-        #: Service-time multiplier (injected latency spike; 1.0 = healthy).
-        self.latency_factor = 1.0
-        #: When True every request raises :class:`DiskError`.
-        self.failing = False
-        self.io_errors = 0
-
-    def set_latency_factor(self, factor: float) -> None:
-        """Degrade (or restore) the device's service time."""
-        if factor <= 0:
-            raise ValueError(f"latency factor must be positive: {factor}")
-        self.latency_factor = factor
-
-    def set_failing(self, failing: bool) -> None:
-        """Start/stop failing every request with :class:`DiskError`."""
-        self.failing = failing
-
-    def _service_time(self, nbytes: int) -> float:
-        return self.latency_factor * (
-            self.costs.ssd_request_latency
-            + nbytes / self.costs.ssd_bandwidth_bytes_per_sec)
-
-    def _check_health(self) -> None:
-        if self.failing:
-            self.io_errors += 1
-            raise DiskError(f"{self.name}: injected I/O error")
-
-    def read(self, nbytes: int):
-        """Generator: occupy the device for a read of ``nbytes``."""
-        if nbytes < 0:
-            raise ValueError(f"negative read size {nbytes}")
-        self._check_health()
-        with self._channel.request() as grant:
-            yield grant
-            yield self.sim.timeout(self._service_time(nbytes))
-            self.bytes_read += nbytes
-            self.requests += 1
-
-    def write(self, nbytes: int):
-        """Generator: occupy the device for a write of ``nbytes``."""
-        if nbytes < 0:
-            raise ValueError(f"negative write size {nbytes}")
-        self._check_health()
-        with self._channel.request() as grant:
-            yield grant
-            yield self.sim.timeout(self._service_time(nbytes))
-            self.bytes_written += nbytes
-            self.requests += 1
-
-    @property
-    def queue_depth(self) -> int:
-        return self._channel.queue_length
-
-    def __repr__(self) -> str:
-        return (f"<SsdDevice {self.name} read={self.bytes_read}B "
-                f"written={self.bytes_written}B reqs={self.requests}>")
+        warnings.warn(
+            "SsdDevice is deprecated; use "
+            "repro.storage.device.make_device(sim, 'ssd', ...) instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(sim, SSD_PROFILE, costs=costs, name=name)

@@ -1,0 +1,396 @@
+"""Append-only replicated stream layer (Windows-Azure-Storage style).
+
+A *stream* is an ordered list of *extents*; only the last extent of a
+stream is writable, appends are atomic (a record never spans extents and
+either fully lands or leaves no trace), and a *sealed* extent is
+immutable forever.  Each extent is replicated across a deterministic
+round-robin window of placement nodes (datanode ids in a cluster), so a
+stream's durability story matches the Azure stream layer's: seal, then
+re-replicate sealed extents freely because they can never change.
+
+HDFS blocks map onto streams: :meth:`StreamLayer.attach` subscribes to a
+namenode's block-commit notifications and appends one record per
+committed block to the stream named after the block's HDFS file.  The
+mapping is pure bookkeeping — no simulator events, no timing impact —
+so it can shadow every cluster run and still keep golden timelines
+byte-identical.
+
+Memory discipline: a stream built with ``retain=False`` keeps only a
+running length, a record count, and a rolling SHA-256 per extent — no
+per-record state at all, so RSS stays flat no matter how much is
+appended; ``retain=True`` keeps the bytes so reads can round-trip
+appends exactly (what the property tests verify).  Virtual appends
+(:meth:`Stream.append_virtual`) record length + fingerprint only and are
+what the HDFS block mapping uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default extent capacity (matches the paper's HDFS block size).
+DEFAULT_EXTENT_BYTES = 64 * 1024 * 1024
+
+#: Default replicas per extent (Azure stream layer's intra-stamp three).
+DEFAULT_REPLICATION = 3
+
+
+class StreamError(Exception):
+    """An illegal stream-layer operation (overflow, sealed write, ...)."""
+
+
+class ExtentPlacement:
+    """Deterministic round-robin replica placement for extents.
+
+    Extent ``i`` of any stream lands on the window of ``replication``
+    nodes starting at position ``i`` (mod node count) of the fixed node
+    list — a pure function of the index, so serial and parallel runs
+    place identically.
+    """
+
+    def __init__(self, nodes: Sequence[str],
+                 replication: int = DEFAULT_REPLICATION):
+        if not nodes:
+            raise StreamError("extent placement needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise StreamError(f"duplicate placement nodes: {list(nodes)}")
+        if replication < 1:
+            raise StreamError(f"replication must be >= 1: {replication}")
+        self.nodes: Tuple[str, ...] = tuple(nodes)
+        self.replication = min(replication, len(self.nodes))
+
+    def targets(self, extent_index: int) -> Tuple[str, ...]:
+        """The replica nodes for extent ``extent_index``."""
+        n = len(self.nodes)
+        start = extent_index % n
+        return tuple(self.nodes[(start + k) % n]
+                     for k in range(self.replication))
+
+    def __repr__(self) -> str:
+        return (f"<ExtentPlacement nodes={len(self.nodes)} "
+                f"replication={self.replication}>")
+
+
+class Extent:
+    """One append-only extent: records, a rolling digest, a seal bit.
+
+    Non-retained extents keep **no per-record state** — just the running
+    length, a record count, and the rolling hash — which is what makes
+    ``retain=False`` streams flat-RSS under unbounded appends.  Retained
+    extents additionally keep ``(offset, length)`` per record plus the
+    bytes, so :meth:`read` can round-trip.
+    """
+
+    __slots__ = ("name", "index", "limit_bytes", "replicas", "sealed",
+                 "length", "record_count", "_records", "_chunks", "_hash",
+                 "_digest")
+
+    def __init__(self, name: str, index: int, limit_bytes: int,
+                 replicas: Tuple[str, ...], retain: bool = True):
+        self.name = name
+        self.index = index
+        self.limit_bytes = limit_bytes
+        self.replicas = replicas
+        self.sealed = False
+        self.length = 0
+        self.record_count = 0
+        #: ``(offset, length)`` per append — retained extents only.
+        self._records: Optional[List[Tuple[int, int]]] = [] if retain else None
+        self._chunks: Optional[List[bytes]] = [] if retain else None
+        self._hash: Optional["hashlib._Hash"] = hashlib.sha256()
+        self._digest: Optional[str] = None
+
+    @property
+    def retained(self) -> bool:
+        return self._chunks is not None
+
+    def fits(self, nbytes: int) -> bool:
+        return not self.sealed and self.length + nbytes <= self.limit_bytes
+
+    def _admit(self, nbytes: int) -> int:
+        if self.sealed:
+            raise StreamError(f"extent {self.name} is sealed")
+        if nbytes < 0:
+            raise StreamError(f"negative append size {nbytes}")
+        if self.length + nbytes > self.limit_bytes:
+            raise StreamError(
+                f"append of {nbytes}B overflows extent {self.name} "
+                f"({self.length}/{self.limit_bytes}B used)")
+        return self.length
+
+    def append(self, data: bytes) -> int:
+        """Atomically append ``data``; returns the record's offset."""
+        offset = self._admit(len(data))
+        self._hash.update(len(data).to_bytes(8, "big"))
+        self._hash.update(data)
+        if self._chunks is not None:
+            self._chunks.append(bytes(data))
+            self._records.append((offset, len(data)))
+        self.record_count += 1
+        self.length += len(data)
+        return offset
+
+    def append_virtual(self, nbytes: int, fingerprint: bytes = b"") -> int:
+        """Append a length-only record (content identified by fingerprint).
+
+        The bytes are never materialized — this is how GB-scale HDFS
+        blocks map onto extents with flat RSS — so the extent becomes
+        unreadable (:meth:`read` raises) but keeps exact lengths and a
+        deterministic digest.
+        """
+        offset = self._admit(nbytes)
+        self._hash.update(nbytes.to_bytes(8, "big"))
+        self._hash.update(fingerprint)
+        if self._chunks is not None:
+            self._chunks = None  # mixed content can't round-trip reads
+            self._records = None
+        self.record_count += 1
+        self.length += nbytes
+        return offset
+
+    def seal(self) -> None:
+        """Make the extent immutable (idempotent; sealing seals forever).
+
+        Sealing finalizes the rolling digest and frees the hash object —
+        a sealed extent can never change, so its digest is frozen.
+        """
+        if not self.sealed:
+            self.sealed = True
+            self._digest = self._hash.hexdigest()
+            self._hash = None
+
+    def read(self, offset: int, length: int) -> bytes:
+        """The bytes at ``[offset, offset+length)`` (retained extents only)."""
+        if not self.retained:
+            raise StreamError(
+                f"extent {self.name} holds no content (retain=False or "
+                f"virtual appends); only lengths and digests are kept")
+        if offset < 0 or length < 0 or offset + length > self.length:
+            raise StreamError(
+                f"read [{offset}, {offset + length}) outside extent "
+                f"{self.name} of {self.length}B")
+        out: List[bytes] = []
+        remaining = length
+        for (start, size), chunk in zip(self._records, self._chunks):
+            if remaining == 0:
+                break
+            if start + size <= offset:
+                continue
+            lo = max(0, offset - start)
+            take = min(size - lo, remaining)
+            out.append(chunk[lo:lo + take])
+            offset += take
+            remaining -= take
+        return b"".join(out)
+
+    def digest(self) -> str:
+        """Rolling SHA-256 over (length, content-or-fingerprint) records."""
+        if self._digest is not None:
+            return self._digest
+        return self._hash.hexdigest()
+
+    def __repr__(self) -> str:
+        state = "sealed" if self.sealed else "open"
+        return (f"<Extent {self.name} {self.length}/{self.limit_bytes}B "
+                f"{self.record_count} records {state} @{self.replicas}>")
+
+
+class Stream:
+    """An ordered extent list; only the last extent accepts appends."""
+
+    def __init__(self, name: str, placement: ExtentPlacement,
+                 extent_bytes: int = DEFAULT_EXTENT_BYTES,
+                 retain: bool = True):
+        if extent_bytes < 1:
+            raise StreamError(f"extent size must be >= 1: {extent_bytes}")
+        self.name = name
+        self.placement = placement
+        self.extent_bytes = extent_bytes
+        self.retain = retain
+        self.extents: List[Extent] = []
+
+    # ---------------------------------------------------------------- appends
+    def _writable_extent(self, nbytes: int) -> Extent:
+        if nbytes > self.extent_bytes:
+            raise StreamError(
+                f"append of {nbytes}B exceeds the extent size "
+                f"{self.extent_bytes}B of stream {self.name!r}; appends "
+                f"are atomic and never span extents")
+        if not self.extents or not self.extents[-1].fits(nbytes):
+            if self.extents:
+                self.extents[-1].seal()
+            index = len(self.extents)
+            self.extents.append(Extent(
+                f"{self.name}/ext{index}", index, self.extent_bytes,
+                self.placement.targets(index), retain=self.retain))
+        return self.extents[-1]
+
+    def append(self, data: bytes) -> Tuple[int, int]:
+        """Append ``data``; returns ``(extent_index, offset_in_extent)``."""
+        extent = self._writable_extent(len(data))
+        return extent.index, extent.append(data)
+
+    def append_virtual(self, nbytes: int,
+                       fingerprint: bytes = b"") -> Tuple[int, int]:
+        """Append a length-only record (see :meth:`Extent.append_virtual`)."""
+        extent = self._writable_extent(nbytes)
+        return extent.index, extent.append_virtual(nbytes, fingerprint)
+
+    def seal(self) -> None:
+        """Seal the last extent; further appends open a fresh extent."""
+        if self.extents:
+            self.extents[-1].seal()
+
+    # ------------------------------------------------------------------ reads
+    @property
+    def length(self) -> int:
+        return sum(extent.length for extent in self.extents)
+
+    def read(self, position: int, length: int) -> bytes:
+        """Bytes at stream position ``[position, position+length)``."""
+        if position < 0 or length < 0 or position + length > self.length:
+            raise StreamError(
+                f"read [{position}, {position + length}) outside stream "
+                f"{self.name!r} of {self.length}B")
+        out: List[bytes] = []
+        remaining = length
+        for extent in self.extents:
+            if remaining == 0:
+                break
+            if extent.length <= position:
+                position -= extent.length
+                continue
+            take = min(extent.length - position, remaining)
+            out.append(extent.read(position, take))
+            position = 0
+            remaining -= take
+        return b"".join(out)
+
+    def digest(self) -> str:
+        """SHA-256 over the extent chain (replicas, seal bits, contents)."""
+        acc = hashlib.sha256()
+        for extent in self.extents:
+            acc.update(extent.name.encode())
+            acc.update(b"|".join(node.encode() for node in extent.replicas))
+            acc.update(b"sealed" if extent.sealed else b"open")
+            acc.update(extent.digest().encode())
+        return acc.hexdigest()
+
+    def __repr__(self) -> str:
+        return (f"<Stream {self.name!r} extents={len(self.extents)} "
+                f"length={self.length}B>")
+
+
+class StreamLayer:
+    """The stream namespace + the HDFS block mapping.
+
+    ``nodes`` are the placement targets (datanode ids);
+    ``extent_bytes``/``replication``/``retain`` set the defaults every
+    stream inherits.  :meth:`attach` wires the layer under a namenode so
+    committed HDFS blocks land in per-file streams automatically.
+    """
+
+    def __init__(self, nodes: Sequence[str],
+                 replication: int = DEFAULT_REPLICATION,
+                 extent_bytes: int = DEFAULT_EXTENT_BYTES,
+                 retain: bool = False):
+        self.placement = ExtentPlacement(nodes, replication)
+        self.extent_bytes = extent_bytes
+        self.retain = retain
+        self._streams: Dict[str, Stream] = {}
+        #: block name -> (stream name, extent index, offset, length).
+        self._block_map: Dict[str, Tuple[str, int, int, int]] = {}
+
+    # -------------------------------------------------------------- namespace
+    def create(self, name: str, retain: Optional[bool] = None) -> Stream:
+        if name in self._streams:
+            raise StreamError(f"stream exists: {name!r}")
+        stream = Stream(name, self.placement, self.extent_bytes,
+                        self.retain if retain is None else retain)
+        self._streams[name] = stream
+        return stream
+
+    def get_or_create(self, name: str) -> Stream:
+        stream = self._streams.get(name)
+        return stream if stream is not None else self.create(name)
+
+    def stream(self, name: str) -> Stream:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise StreamError(
+                f"no stream {name!r}; layer has {sorted(self._streams)}")
+
+    def streams(self) -> List[str]:
+        return sorted(self._streams)
+
+    # ----------------------------------------------------------- HDFS mapping
+    def attach(self, namenode) -> "StreamLayer":
+        """Shadow ``namenode``: map every committed block onto a stream.
+
+        Commit notifications fire once per replica; the map dedupes on
+        block name so each block appends exactly one record.  Returns
+        ``self`` for chaining.
+        """
+        namenode.add_observer(self._on_block_event)
+        return self
+
+    def _on_block_event(self, event: str, block, datanode_id: str) -> None:
+        if event == "commit" and block.name not in self._block_map:
+            self.record_block(block)
+        elif event == "delete":
+            self._block_map.pop(block.name, None)
+
+    def record_block(self, block) -> Tuple[str, int, int, int]:
+        """Append ``block`` to its file's stream; returns the location."""
+        if block.name in self._block_map:
+            raise StreamError(f"block {block.name} already mapped")
+        stream = self.get_or_create(block.file_path)
+        extent_index, offset = stream.append_virtual(
+            block.size, fingerprint=block.name.encode())
+        location = (stream.name, extent_index, offset, block.size)
+        self._block_map[block.name] = location
+        return location
+
+    def locate_block(self, block_name: str) -> Tuple[str, int, int, int]:
+        """Where a block lives: (stream, extent index, offset, length)."""
+        try:
+            return self._block_map[block_name]
+        except KeyError:
+            raise StreamError(
+                f"block {block_name!r} is not mapped; layer has "
+                f"{len(self._block_map)} blocks")
+
+    @property
+    def mapped_blocks(self) -> int:
+        return len(self._block_map)
+
+    # ------------------------------------------------------------ determinism
+    def digest(self) -> str:
+        """SHA-256 over every stream (sorted), for determinism gates."""
+        acc = hashlib.sha256()
+        for name in self.streams():
+            acc.update(name.encode())
+            acc.update(self._streams[name].digest().encode())
+        for block_name in sorted(self._block_map):
+            stream_name, extent, offset, length = self._block_map[block_name]
+            acc.update(f"{block_name}@{stream_name}/{extent}"
+                       f"+{offset}:{length}".encode())
+        return acc.hexdigest()
+
+    def describe(self) -> str:
+        """Human-readable layout, one line per stream."""
+        lines = []
+        for name in self.streams():
+            stream = self._streams[name]
+            sealed = sum(1 for extent in stream.extents if extent.sealed)
+            lines.append(
+                f"{name}: {len(stream.extents)} extents ({sealed} sealed), "
+                f"{stream.length}B")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<StreamLayer streams={len(self._streams)} "
+                f"blocks={len(self._block_map)} "
+                f"replication={self.placement.replication}>")

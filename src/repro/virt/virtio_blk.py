@@ -46,7 +46,7 @@ class VirtioBlk:
             costs.virtio_blk_request_cycles, COPY_VIRTIO)
         missing = host.page_cache.missing_bytes(cache_key, offset, length)
         if missing > 0:
-            yield from host.ssd.read(missing)
+            yield from host.storage.read(missing, offset=offset)
             host.page_cache.insert(cache_key, offset, length)
         # Copy host page cache -> guest memory through the virtqueue.
         yield from self.vm.qemu_io.run(
@@ -72,7 +72,7 @@ class VirtioBlk:
             costs.virtio_blk_request_cycles, COPY_VIRTIO)
         yield from self.vm.qemu_io.run(
             costs.virtio_blk_copy_cycles_per_byte * length, COPY_VIRTIO)
-        yield from host.ssd.write(length)
+        yield from host.storage.write(length, offset=offset)
         host.page_cache.insert(cache_key, offset, length)
         yield from self.vm.vcpu.run(costs.virq_cycles, OTHERS)
         self.requests += 1

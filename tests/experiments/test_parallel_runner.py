@@ -34,6 +34,19 @@ def test_parallel_chaos_sweep_matches_serial_byte_for_byte():
     assert all(v == 1.0 for v in serial.series["verified"])
 
 
+def test_parallel_storage_tiers_matches_serial_byte_for_byte():
+    params = {"file_bytes": 1 << 20}
+    serial = runner.run_experiment("ablation-storage-tiers", jobs=1, seed=0,
+                                   params=params)
+    parallel = runner.run_experiment("ablation-storage-tiers", jobs=4,
+                                     seed=0, params=params)
+    assert runner.canonical_json(serial) == runner.canonical_json(parallel)
+    # Faster media means faster cold reads, in every mode.
+    for mode in ("vanilla", "vRead"):
+        cold = serial.series[f"{mode} cold"]
+        assert cold[0] < cold[1] < cold[2]  # hdd < ssd < nvme
+
+
 def test_root_seed_changes_the_sweep():
     one = runner.run_experiment("chaos-sweep", jobs=1, seed=0,
                                 params=_CHAOS_PARAMS)

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.hostmodel.costs import CostModel
 from repro.sim import Simulator
-from repro.storage.disk import SsdDevice
+from repro.storage.device import make_device
 from repro.storage.pagecache import PAGE_SIZE, PageCache
 
 
@@ -110,7 +110,7 @@ def test_inserted_pages_are_resident_until_evicted(ops):
 def test_ssd_read_time_is_latency_plus_transfer():
     sim = Simulator()
     costs = CostModel()
-    ssd = SsdDevice(sim, costs)
+    ssd = make_device(sim, "ssd", costs=costs)
     nbytes = 1 << 20
 
     def proc():
@@ -127,7 +127,7 @@ def test_ssd_read_time_is_latency_plus_transfer():
 def test_ssd_requests_serialize():
     sim = Simulator()
     costs = CostModel()
-    ssd = SsdDevice(sim, costs)
+    ssd = make_device(sim, "ssd", costs=costs)
     finish = []
 
     def proc():
@@ -144,7 +144,7 @@ def test_ssd_requests_serialize():
 
 def test_ssd_write_accounting():
     sim = Simulator()
-    ssd = SsdDevice(sim)
+    ssd = make_device(sim, "ssd")
 
     def proc():
         yield from ssd.write(4096)
@@ -157,7 +157,7 @@ def test_ssd_write_accounting():
 
 def test_ssd_negative_size_rejected():
     sim = Simulator()
-    ssd = SsdDevice(sim)
+    ssd = make_device(sim, "ssd")
 
     def proc():
         yield from ssd.read(-1)
