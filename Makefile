@@ -1,6 +1,6 @@
 # Convenience targets for the vRead reproduction.
 
-.PHONY: install test lint analyze chaos bench bench-quick bench-pr5 bench-pr5-quick load-smoke load-bench storage-smoke storage-bench profile bench-tables report paper-report quick-report demo clean
+.PHONY: install test lint analyze chaos bench bench-quick bench-pr5 bench-pr5-quick load-smoke load-bench storage-smoke storage-bench churn-smoke churn-bench profile bench-tables report paper-report quick-report demo clean
 
 install:
 	python setup.py develop
@@ -52,6 +52,16 @@ storage-smoke:
 
 storage-bench:
 	PYTHONPATH=src python benchmarks/perf/bench_pr8.py --out BENCH_pr8.json
+
+# Elastic-membership harness: churn-sweep jobs-N determinism, daemon
+# crash -> re-probe -> recovery gates, churn-free neutrality (see
+# docs/elasticity.md); churn-smoke is the CI profile.
+churn-smoke:
+	PYTHONPATH=src python benchmarks/perf/bench_pr9.py --quick --out BENCH_pr9.json
+	PYTHONPATH=src python -m pytest tests/cluster/test_membership.py tests/load/test_autoscale.py tests/experiments/test_scale_churn.py -q
+
+churn-bench:
+	PYTHONPATH=src python benchmarks/perf/bench_pr9.py --out BENCH_pr9.json
 
 # Usage: make profile [EXP=fig11] [PROFILE_FLAGS="--quick --memory"]
 EXP ?= fig11

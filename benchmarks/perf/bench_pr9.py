@@ -1,0 +1,268 @@
+"""PR 9 performance harness: elastic membership + churn under load.
+
+Measures, each phase in a fresh subprocess (clean RSS high-water mark):
+
+* **Churn-sweep determinism** — the ``scale-churn`` sweep at ``--jobs 1``
+  vs ``--jobs 4`` (canonical JSON must be byte-identical) plus a serial
+  repeat, because churn scripts run concurrently with measured reads and
+  any hidden ordering dependence would show up here first.
+* **Recovery gates** — a full-churn vRead point must actually exercise
+  the Section 6 story: the library degrades while the daemon is down
+  (0 < degraded fraction < 1), re-probes it, recovers within the window,
+  and the decommission triggers background re-replication.
+* **Membership-op throughput** — wall-clock rate of pure-bookkeeping
+  membership operations (datanode joins, client VM add/remove cycles);
+  these run between simulation events and must stay cheap.
+* **Churn-free neutrality** — a static cluster run must leave the
+  membership version at 0 and reproduce its stream digest exactly: the
+  controller is pure bookkeeping until an operation is invoked.
+
+Writes BENCH_pr9.json (see docs/performance.md) and exits non-zero if
+any gate fails — CI runs this with ``--quick``.
+
+Wall-clock use is deliberate and allowed here: this file measures the
+*host* runtime of the harness, it is not simulation code (simlint scans
+``src/repro`` only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import platform
+import resource
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..",
+                                "src"))
+
+#: The degraded window must be real but bounded: recovery inside the
+#: measurement window caps it well below 1.
+DEGRADED_FRACTION_MAX = 0.8
+
+
+def _measure_in_child(target, kwargs, conn):
+    started = time.monotonic()
+    payload = target(**kwargs)
+    elapsed = time.monotonic() - started
+    max_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    conn.send({"wall_s": round(elapsed, 3), "max_rss_mb":
+               round(max_rss_kb / 1024, 1), "payload": payload})
+    conn.close()
+
+
+def measure(target, **kwargs):
+    """Run ``target(**kwargs)`` in a fresh process; return timing + result."""
+    parent, child = multiprocessing.Pipe(duplex=False)
+    proc = multiprocessing.Process(target=_measure_in_child,
+                                   args=(target, kwargs, child))
+    proc.start()
+    child.close()
+    result = parent.recv()
+    proc.join()
+    if proc.exitcode != 0:
+        raise RuntimeError(f"benchmark child failed: {target.__name__}")
+    return result
+
+
+# ----------------------------------------------------------- child workloads
+def _churn_sweep_json(jobs):
+    from repro.experiments import runner
+
+    result = runner.run_experiment("scale-churn", profile="quick", jobs=jobs,
+                                   seed=0)
+    return {"json": runner.canonical_json(result), "series": result.series}
+
+
+def _full_churn_point(file_bytes, duration):
+    from dataclasses import asdict
+
+    from repro.experiments.scale_churn import _measure as churn_measure
+
+    point = churn_measure(True, "full", file_bytes, duration, seed=1)
+    return asdict(point)
+
+
+def _membership_ops(cycles):
+    """Wall-clock rate of pure-bookkeeping membership operations."""
+    from repro.cluster import VirtualHadoopCluster, rack_cluster
+
+    cluster = VirtualHadoopCluster(
+        topology=rack_cluster(2, 2, clients=2), replication=2)
+    controller = cluster.membership
+    started = time.monotonic()
+    for index in range(cycles):
+        vm = controller.add_client_vm(f"bench{index}")
+        controller.remove_client_vm(vm.name)
+    client_elapsed = time.monotonic() - started
+    started = time.monotonic()
+    joins = max(1, cycles // 10)
+    for index in range(joins):
+        controller.add_datanode(cluster.hosts[index % len(cluster.hosts)])
+    join_elapsed = time.monotonic() - started
+    return {"client_cycles": cycles,
+            "client_cycles_per_s": round(cycles / client_elapsed),
+            "datanode_joins": joins,
+            "datanode_joins_per_s": round(joins / join_elapsed),
+            "final_version": controller.version}
+
+
+def _churn_free_digest(file_bytes):
+    """Static-cluster run: digest + membership version must not move."""
+    from repro.cluster import VirtualHadoopCluster
+    from repro.storage.content import PatternSource
+
+    cluster = VirtualHadoopCluster(vread=True,
+                                   block_size=max(file_bytes // 2, 1 << 20))
+
+    def load():
+        yield from cluster.write_dataset(
+            "/bench/static", PatternSource(file_bytes, seed=7))
+
+    cluster.run(cluster.sim.process(load()))
+    cluster.settle()
+    client = cluster.clients.get()
+
+    def read():
+        source = yield from client.read_file("/bench/static", 1 << 20)
+        return source.checksum()
+
+    checksum = cluster.run(cluster.sim.process(read()))
+    return {"digest": cluster.stream_layer.digest(),
+            "checksum": checksum,
+            "membership_version": cluster.membership.version,
+            "membership_log": len(cluster.membership.log),
+            "now": cluster.sim.now}
+
+
+# ------------------------------------------------------------------- phases
+def phase_determinism(report, failures, quick):
+    serial = measure(_churn_sweep_json, jobs=1)
+    parallel = measure(_churn_sweep_json, jobs=2 if quick else 4)
+    identical = serial["payload"]["json"] == parallel["payload"]["json"]
+    repeat = measure(_churn_sweep_json, jobs=1)
+    repeatable = repeat["payload"]["json"] == serial["payload"]["json"]
+    report["churn_sweep_jobs"] = {
+        "byte_identical": identical,
+        "repeat_identical": repeatable,
+        "wall_serial_s": serial["wall_s"],
+        "wall_parallel_s": parallel["wall_s"],
+        "json_bytes": len(serial["payload"]["json"]),
+    }
+    if not identical:
+        failures.append("scale-churn --jobs N diverged from the serial run")
+    if not repeatable:
+        failures.append("scale-churn serial repeat diverged (hidden state)")
+    print(f"  determinism: churn-sweep jobs byte-identical={identical}, "
+          f"serial repeat={repeatable}")
+
+
+def phase_recovery(report, failures, quick):
+    file_bytes = (1 if quick else 2) << 20
+    duration = 1.5 if quick else 2.0
+    result = measure(_full_churn_point, file_bytes=file_bytes,
+                     duration=duration)
+    point = result["payload"]
+    report["full_churn_recovery"] = dict(point, wall_s=result["wall_s"])
+    if point["reprobes"] < 1:
+        failures.append("full churn: degraded library never re-probed the "
+                        "restarted daemon")
+    if point["recoveries"] < 1:
+        failures.append("full churn: vRead fast path never recovered inside "
+                        "the measurement window")
+    if not 0 < point["degraded_fraction"] < DEGRADED_FRACTION_MAX:
+        failures.append(
+            f"full churn: degraded fraction {point['degraded_fraction']:.2f} "
+            f"outside (0, {DEGRADED_FRACTION_MAX}) — the daemon crash either "
+            f"never degraded the library or recovery missed the window")
+    if point["re_replications"] < 1:
+        failures.append("full churn: decommission drained no replicas")
+    if point["membership_version"] < 3:
+        failures.append(
+            f"full churn: membership version {point['membership_version']} "
+            f"< 3 (migrate + decommission + join should each bump it)")
+    print(f"  recovery: {point['reprobes']} re-probes, "
+          f"{point['recoveries']} recoveries "
+          f"({point['recovery_ms']:.0f}ms back to fast path), degraded "
+          f"{100 * point['degraded_fraction']:.0f}% of window, "
+          f"{point['re_replications']} re-replications "
+          f"({point['re_replication_bytes'] >> 20}MB)")
+
+
+def phase_membership_ops(report, quick):
+    cycles = 200 if quick else 1000
+    result = measure(_membership_ops, cycles=cycles)
+    report["membership_ops"] = dict(result["payload"],
+                                    wall_s=result["wall_s"])
+    print(f"  membership ops: "
+          f"{result['payload']['client_cycles_per_s']:,} client "
+          f"add/remove cycles/s, "
+          f"{result['payload']['datanode_joins_per_s']:,} datanode joins/s")
+
+
+def phase_churn_free(report, failures, quick):
+    file_bytes = (2 if quick else 8) << 20
+    first = measure(_churn_free_digest, file_bytes=file_bytes)
+    second = measure(_churn_free_digest, file_bytes=file_bytes)
+    same = first["payload"] == second["payload"]
+    version = first["payload"]["membership_version"]
+    report["churn_free_neutrality"] = {
+        "repeat_identical": same,
+        "membership_version": version,
+        "digest": first["payload"]["digest"],
+    }
+    if not same:
+        failures.append("churn-free cluster run not reproducible "
+                        "(digest or timeline drifted)")
+    if version != 0:
+        failures.append(
+            f"churn-free cluster bumped membership version to {version}; "
+            f"the controller must be pure bookkeeping until invoked")
+    print(f"  churn-free: repeat identical={same}, "
+          f"membership version={version}")
+
+
+# --------------------------------------------------------------------- main
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller determinism/recovery phases (CI)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report to PATH")
+    args = parser.parse_args(argv)
+
+    report = {
+        "bench": "pr9-elastic-membership",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    failures = []
+    print("Determinism gates (churn sweep fan-out):")
+    phase_determinism(report, failures, args.quick)
+    print("Recovery gates (full churn, vRead):")
+    phase_recovery(report, failures, args.quick)
+    print("Membership-op throughput:")
+    phase_membership_ops(report, args.quick)
+    print("Churn-free neutrality:")
+    phase_churn_free(report, failures, args.quick)
+
+    report["failures"] = failures
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ from :func:`~repro.cluster.topology.rack_cluster`.
 """
 
 from repro.cluster.builder import ClusterConfig, VirtualHadoopCluster
+from repro.cluster.membership import ClusterController, MembershipError
 from repro.cluster.topology import (
     HostSpec,
     RackSpec,
@@ -21,11 +22,14 @@ from repro.cluster.topology import (
     VmSpec,
     paper_fig10,
     rack_cluster,
+    runtime_topology,
 )
 
 __all__ = [
     "ClusterConfig",
+    "ClusterController",
     "HostSpec",
+    "MembershipError",
     "RackSpec",
     "TopologyError",
     "TopologySpec",
@@ -33,4 +37,5 @@ __all__ = [
     "VmSpec",
     "paper_fig10",
     "rack_cluster",
+    "runtime_topology",
 ]

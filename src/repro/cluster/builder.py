@@ -23,6 +23,7 @@ import difflib
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import Dict, List, Optional, Union
 
+from repro.cluster.membership import ClusterController
 from repro.cluster.topology import TopologySpec, paper_fig10
 from repro.storage.device import DeviceProfile, resolve_profile
 from repro.storage.stream import StreamLayer
@@ -297,6 +298,11 @@ class VirtualHadoopCluster:
 
         #: The one way to get HDFS clients (vread/vanilla/auto).
         self.clients = ClusterClients(self)
+        #: The live membership control plane: add/decommission datanodes,
+        #: elastic client pool, live migration with full bookkeeping.
+        #: Construction is pure bookkeeping (no events, no RNG), so
+        #: churn-free clusters behave byte-identically to the static path.
+        self.membership = ClusterController(self)
         #: Fault-injection handle for ``config.faults``; call
         #: ``cluster.faults.arm()`` once the workload is about to start.
         self.faults = FaultInjector(self, config.faults, self.fault_counters)
@@ -326,15 +332,25 @@ class VirtualHadoopCluster:
     # ------------------------------------------------------------------ client
     def add_client_vm(self, name: str,
                       host_index: int = 0) -> VirtualMachine:
-        """Add another client VM after construction.
+        """Deprecated: use ``cluster.membership.add_client_vm`` instead.
 
-        Prefer declaring clients in the topology (``paper_fig10(clients=N)``
-        or ``rack_cluster(..., clients=N)``); this remains for ad-hoc
-        scale-out from test code.
+        Kept as a shim so old call sites keep working; routes through the
+        membership controller (which versions the change and notifies
+        observers).  Prefer declaring clients in the topology
+        (``paper_fig10(clients=N)`` / ``rack_cluster(..., clients=N)``) or
+        calling the controller directly.
         """
-        vm = VirtualMachine(self.hosts[host_index], name)
-        self.client_vms.append(vm)
-        return vm
+        import warnings
+        warnings.warn(
+            "VirtualHadoopCluster.add_client_vm is deprecated; use "
+            "cluster.membership.add_client_vm(name, host=...)",
+            DeprecationWarning, stacklevel=2)
+        return self.membership.add_client_vm(
+            name, host=self.hosts[host_index])
+
+    def remove_client_vm(self, name: str) -> None:
+        """Remove a client VM from the pool (see the membership controller)."""
+        self.membership.remove_client_vm(name)
 
     # ------------------------------------------------------------------- runs
     def run(self, process):

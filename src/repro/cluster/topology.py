@@ -240,6 +240,43 @@ class TopologySpec:
                 f"clients={c['client']} datanodes={c['datanode']}>")
 
 
+# --------------------------------------------------------------- runtime view
+def runtime_topology(cluster) -> TopologySpec:
+    """Rebuild a :class:`TopologySpec` from a cluster's *current* state.
+
+    The spec a cluster was built from is frozen at construction time; after
+    membership churn (migrations, decommissions, added VMs) its queries go
+    stale.  This reconstructs a fresh spec from the live objects — racks
+    from the fabric, VM placements and datanode ids from the cluster's
+    runtime lists — so ``rack_of`` / ``host_of_datanode`` / ``counts`` /
+    ``describe`` answer for the cluster as it is *now*.  Pure data, like
+    any spec: building it touches no simulator state.
+    """
+    roles: Dict[str, str] = {}
+    dn_ids: Dict[str, str] = {}
+    for vm in cluster.client_vms:
+        roles[vm.name] = "client"
+    for datanode in cluster.datanodes:
+        roles[datanode.vm.name] = "datanode"
+        dn_ids[datanode.vm.name] = datanode.datanode_id
+    for vm in cluster.background_vms:
+        roles[vm.name] = "background"
+
+    racks: Dict[str, RackSpec] = {}
+    for host in cluster.hosts:
+        rack_name = host.rack or "rack1"
+        rack = racks.get(rack_name)
+        if rack is None:
+            rack = racks[rack_name] = RackSpec(rack_name)
+        spec = HostSpec(host.name)
+        for vm in host.vms:
+            spec.add(VmSpec(vm.name, roles.get(vm.name, "aux"),
+                            datanode_id=dn_ids.get(vm.name)))
+        rack.hosts.append(spec)
+    return TopologySpec(racks=list(racks.values()),
+                        oversubscription=cluster.topology.oversubscription)
+
+
 # ------------------------------------------------------------------- presets
 def paper_fig10(n_hosts: int = 2, n_datanodes: Optional[int] = None,
                 total_vms_per_host: int = 2,

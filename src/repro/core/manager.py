@@ -105,6 +105,40 @@ class VReadManager:
             else:
                 service.register_remote_datanode(datanode.datanode_id, owner)
 
+    def ensure_coverage(self) -> None:
+        """Fill hash-table gaps after membership changes.
+
+        The membership controller calls this after a datanode joins or
+        migrates: a service created lazily for a host that just gained its
+        first datanode knows nothing about the *other* datanodes, so walk
+        every (service, datanode) pair — in namenode registration order,
+        deterministically — and add any missing entry.  Existing entries
+        (and their mounts) are left untouched.
+        """
+        for dn_id in self.namenode.datanode_ids():
+            datanode = self.namenode.datanode(dn_id)
+            owner = self.service_for(datanode.vm.host)
+            for service in self._services.values():
+                if service.lookup(dn_id) is None:
+                    if service is owner:
+                        service.register_local_datanode(dn_id,
+                                                        datanode.vm.image)
+                    else:
+                        service.register_remote_datanode(dn_id, owner)
+
+    def detach_datanode(self, datanode_id: str) -> None:
+        """Remove a datanode's entries (and local mount) on every host."""
+        for service in self._services.values():
+            service.unregister_datanode(datanode_id)
+
+    def detach_client(self, vm: VirtualMachine) -> None:
+        """Tear down ``vm``'s channel, daemon and library (VM removed)."""
+        daemon = self._daemons.pop(vm.name, None)
+        if daemon is not None:
+            daemon.crash()
+            daemon.service.host.scheduler.retire_thread(daemon.thread)
+        self._libraries.pop(vm.name, None)
+
     def attach_client(self, vm: VirtualMachine) -> VReadDfsClient:
         """Give ``vm`` a vRead-enabled HDFS client (channel+daemon+library)."""
         if vm.name not in self._libraries:

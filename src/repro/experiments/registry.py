@@ -249,6 +249,34 @@ _RACKS_FANOUT = Fanout(points=_racks_points, run_point=_racks_run_point,
                        assemble=_racks_assemble)
 
 
+def _churn_points(kwargs: Dict[str, Any]) -> List[Tuple]:
+    from repro.experiments.scale_churn import CHURN_LEVELS, MODES
+    return [(mode, churn) for mode in MODES
+            for churn in kwargs.get("churn_levels", CHURN_LEVELS)]
+
+
+def _churn_run_point(point: Tuple, seed: int, kwargs: Dict[str, Any]) -> Any:
+    from repro.experiments.scale_churn import _measure
+    mode, churn = point
+    return _measure(mode == "vRead", churn,
+                    kwargs.get("file_bytes", 2 << 20),
+                    kwargs.get("duration", 2.0), seed)
+
+
+def _churn_assemble(results: List[Tuple[Tuple, Any]],
+                    kwargs: Dict[str, Any], build: Callable[..., Any]) -> Any:
+    from repro.experiments.scale_churn import CHURN_LEVELS, assemble
+    values = {point: churn_point for point, churn_point in results}
+    return assemble(values,
+                    churn_levels=kwargs.get("churn_levels", CHURN_LEVELS),
+                    file_bytes=kwargs.get("file_bytes", 2 << 20),
+                    duration=kwargs.get("duration", 2.0))
+
+
+_CHURN_FANOUT = Fanout(points=_churn_points, run_point=_churn_run_point,
+                       assemble=_churn_assemble)
+
+
 def _load_sweep_points(kwargs: Dict[str, Any]) -> List[Tuple]:
     from repro.experiments.load_sweep import HEALTH, MODES
     return [(mode, health, rate)
@@ -525,6 +553,30 @@ register(ExperimentSpec(
     params=lambda p: {"rack_counts": (1, 2) if p == "quick" else (1, 2, 3),
                       "file_bytes": (2 if p == "quick" else 4) * _MB},
     fanout=_RACKS_FANOUT))
+
+
+def _headline_churn(result) -> List[str]:
+    top = result.x_values[-1]
+    return [
+        f"-> churn={top!r} p99: vanilla "
+        f"{result.value('vanilla p99', top):.2f}ms vs vRead "
+        f"{result.value('vRead p99', top):.2f}ms "
+        f"(degraded {result.value('vRead degraded %', top):.1f}% of the "
+        f"window before re-probe recovered the fast path)",
+    ]
+
+
+register(ExperimentSpec(
+    name="scale-churn", figure="Extension: cluster churn",
+    title="elastic membership churn under read load (extension)",
+    module="scale_churn", group="extension",
+    params=lambda p: {
+        "churn_levels": (("none", "migrate") if p == "quick"
+                         else ("none", "migrate", "full")),
+        "file_bytes": (1 if p == "quick" else 2) * _MB,
+        "duration": {"quick": 1.0, "default": 2.0, "paper": 3.0}[p]},
+    fanout=_CHURN_FANOUT,
+    headline=_headline_churn))
 
 def _headline_load_sweep(result) -> List[str]:
     top = result.x_values[-1]

@@ -18,6 +18,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     DaemonCrash,
     DatanodeCrash,
+    DecommissionDatanode,
     DiskLatencySpike,
     DiskOutage,
     Fault,
@@ -40,6 +41,7 @@ __all__ = [
     "DaemonCrash",
     "DatanodeCrash",
     "DeadlineExceeded",
+    "DecommissionDatanode",
     "DiskLatencySpike",
     "DiskOutage",
     "Fault",

@@ -64,6 +64,25 @@ def _find_vm(cluster, name: Optional[str]):
         f"{[d.datanode_id for d in cluster.datanodes]})")
 
 
+def _find_datanode(cluster, datanode_id: str):
+    """Resolve a datanode id against the cluster's *current* membership.
+
+    The namenode registry alone is not enough once clusters churn: a plan
+    naming a decommissioned datanode should fail loudly with the live
+    targets, not silently hit a stale registration or no-op.
+    """
+    for datanode in cluster.datanodes:
+        if datanode.datanode_id == datanode_id:
+            return datanode
+    live = [d.datanode_id for d in cluster.datanodes]
+    gone = ""
+    membership = getattr(cluster, "membership", None)
+    if membership is not None and datanode_id in membership.decommissioned:
+        gone = f" ({datanode_id!r} was decommissioned)"
+    raise ValueError(
+        f"no live datanode {datanode_id!r}{gone}; live datanodes: {live}")
+
+
 def _find_devices(cluster, host_name: Optional[str], tier: Optional[str]):
     """Resolve disk-fault targets: one host's device, or a whole tier's.
 
@@ -123,7 +142,7 @@ class DatanodeCrash(Fault):
         return f"{self.label}({self.datanode_id})"
 
     def inject(self, cluster, counters):
-        datanode = cluster.namenode.datanode(self.datanode_id)
+        datanode = _find_datanode(cluster, self.datanode_id)
         datanode.stop()
         if self.duration is not None:
             yield cluster.sim.timeout(self.duration)
@@ -294,9 +313,11 @@ class GuestCacheDrop(Fault):
 class MigrateVm(Fault):
     """Live-migrate a (datanode) VM to another host mid-read.
 
-    After the move the vRead hash tables are rebound on every host, as the
-    paper prescribes (Section 6).  Defaults resolve from the topology: the
-    first datanode VM moves to the next host after its current one."""
+    A thin wrapper over ``cluster.membership.migrate`` — the controller
+    retires the source threads, rebinds the vRead hash tables on every
+    host (paper Section 6), and versions the change.  Defaults resolve
+    from the topology: the first datanode VM moves to the next host after
+    its current one."""
     vm_name: Optional[str] = None
     target_host: Optional[str] = None
     label = "vm-migration"
@@ -306,8 +327,6 @@ class MigrateVm(Fault):
                 f"->{self.target_host or 'next-host'})")
 
     def inject(self, cluster, counters):
-        from repro.virt.migration import migrate_vm
-
         vm = (_find_vm(cluster, self.vm_name) if self.vm_name
               else cluster.datanode_vms[0])
         if self.target_host is not None:
@@ -315,17 +334,32 @@ class MigrateVm(Fault):
         else:
             index = cluster.hosts.index(vm.host)
             target = cluster.hosts[(index + 1) % len(cluster.hosts)]
-        if target is vm.host:
-            raise ValueError(
-                f"cannot migrate {vm.name!r}: target host "
-                f"{target.name!r} is the VM's current host")
-        yield from migrate_vm(vm, target, cluster.lan)
-        if cluster.vread_manager is not None:
-            for datanode in cluster.datanodes:
-                if datanode.vm is vm:
-                    cluster.vread_manager.rebind_datanode(datanode)
+        yield from cluster.membership.migrate(vm, target)
         counters.count("fault.vm-migration-done", vm=vm.name,
                        host=target.name)
+
+
+@dataclass
+class DecommissionDatanode(Fault):
+    """Gracefully drain and detach a datanode mid-workload.
+
+    Delegates to ``cluster.membership.decommission_datanode``: the node
+    keeps serving reads while its sole replicas are copied elsewhere,
+    then it leaves the cluster entirely (namenode, vRead tables, fabric
+    bookkeeping)."""
+    datanode_id: str
+    poll_interval: Optional[float] = None
+    label = "decommission"
+
+    def describe(self) -> str:
+        return f"{self.label}({self.datanode_id})"
+
+    def inject(self, cluster, counters):
+        _find_datanode(cluster, self.datanode_id)  # fail fast, clear error
+        yield from cluster.membership.decommission_datanode(
+            self.datanode_id, poll_interval=self.poll_interval)
+        counters.count("fault.decommission-done",
+                       datanode=self.datanode_id)
 
 
 @dataclass

@@ -42,15 +42,21 @@ def call_with_deadline(sim, generator: Generator, seconds: Optional[float]):
         return (yield from generator)
     process = sim.process(generator)
     timeout = sim.timeout(seconds)
+    race = AnyOf(sim, [process, timeout])
     try:
         # A failed process fails the AnyOf, re-raising its exception here.
-        yield AnyOf(sim, [process, timeout])
+        yield race
     except BaseException:
         # The guarded operation failed (or this caller was itself
         # interrupted by an outer deadline): the race is over either way.
         if not timeout.processed:
             timeout.cancel()
         if process.is_alive:
+            # Nobody waits on the race anymore (an interrupt detached this
+            # caller from it), so the sub-process's Interrupt would fail it
+            # unobserved and crash the kernel at drain.  The failure is
+            # expected — mark it handled up front.
+            race.defuse()
             process.interrupt(DeadlineExceeded("outer deadline expired"))
         raise
     if process.triggered:

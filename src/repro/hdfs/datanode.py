@@ -48,7 +48,7 @@ class Datanode:
         #: Failure injection: a stopped datanode refuses all requests.
         self.stopped = False
         self._handlers: List = []
-        vm.sim.process(self._serve())
+        self._serve_proc = vm.sim.process(self._serve())
 
     def stop(self) -> None:
         """Take the datanode down (crash/decommission injection).
@@ -66,6 +66,17 @@ class Datanode:
     def start(self) -> None:
         """Bring a stopped datanode back."""
         self.stopped = False
+
+    def shutdown(self) -> None:
+        """Tear the datanode down for good (decommission detach).
+
+        Unlike :meth:`stop` this also kills the accept loop and releases
+        the listen port, so the VM (or its name) can be retired or reused.
+        """
+        self.stop()
+        if self._serve_proc.is_alive:
+            self._serve_proc.interrupt("datanode shutdown")
+        self.network.unlisten(self.vm, self.config.datanode_port)
 
     # ----------------------------------------------------------------- paths
     def block_path(self, block_name: str) -> str:
@@ -88,7 +99,11 @@ class Datanode:
     def _serve(self):
         """Accept loop: one handler process per incoming connection."""
         while True:
-            connection = yield from self._listener.accept()
+            try:
+                connection = yield from self._listener.accept()
+            except Interrupt:
+                # Shutdown: stop accepting for good.
+                return
             self._handlers = [h for h in self._handlers if h.is_alive]
             self._handlers.append(self.vm.sim.process(self._handle(connection)))
 

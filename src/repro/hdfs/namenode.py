@@ -78,6 +78,17 @@ class Namenode:
             raise HdfsError(f"datanode {datanode.datanode_id!r} already registered")
         self._datanodes[datanode.datanode_id] = datanode
 
+    def unregister_datanode(self, datanode_id: str) -> None:
+        """Drop a datanode from the registry (decommission finished).
+
+        The caller is responsible for having drained its replicas first
+        (see :class:`~repro.hdfs.replication.ReplicationMonitor`).
+        """
+        if datanode_id not in self._datanodes:
+            raise HdfsError(f"unknown datanode {datanode_id!r}")
+        del self._datanodes[datanode_id]
+        self.excluded_datanodes.discard(datanode_id)
+
     def datanode(self, datanode_id: str):
         try:
             return self._datanodes[datanode_id]

@@ -37,6 +37,8 @@ class ReplicationMonitor:
         #: Datanodes being drained (still serve reads; no new placements).
         self._decommissioning: Set[str] = set()
         self.re_replications = 0
+        self.re_replication_bytes = 0
+        self.rebalance_moves = 0
         self._running = False
         self._sim = None
 
@@ -55,6 +57,25 @@ class ReplicationMonitor:
     def stop(self) -> None:
         """Stop all loops (lets ``sim.run()`` drain)."""
         self._running = False
+
+    def note_datanode_added(self, dn_id: str) -> None:
+        """Start heartbeating a datanode registered after :meth:`start`."""
+        self.namenode.datanode(dn_id)  # validate
+        if dn_id in self._last_heartbeat:
+            return
+        self._last_heartbeat[dn_id] = self._sim.now if self._sim else 0.0
+        if self._running:
+            self._sim.process(self._heartbeat_loop(dn_id))
+
+    def forget_datanode(self, dn_id: str) -> None:
+        """Drop all state for a datanode removed from the cluster.
+
+        Its heartbeat loop (if any) exits on the next tick because the
+        namenode no longer knows the id.
+        """
+        self._last_heartbeat.pop(dn_id, None)
+        self._dead.discard(dn_id)
+        self._decommissioning.discard(dn_id)
 
     def is_dead(self, dn_id: str) -> bool:
         return dn_id in self._dead
@@ -93,11 +114,15 @@ class ReplicationMonitor:
 
     # ------------------------------------------------------------- heartbeats
     def _heartbeat_loop(self, dn_id: str):
-        datanode = self.namenode.datanode(dn_id)
         while self._running:
             yield self._sim.timeout(self.heartbeat_interval)
             if not self._running:
                 return
+            if dn_id not in self._last_heartbeat:
+                return  # datanode left the cluster (forget_datanode)
+            # Resolved per tick: the node may detach between heartbeats
+            # (a same-instant decommission can even beat the first one).
+            datanode = self.namenode.datanode(dn_id)
             if not datanode.stopped:
                 # A tiny metadata message; CPU cost on the datanode vCPU.
                 yield from datanode.vm.vcpu.run(
@@ -142,42 +167,121 @@ class ReplicationMonitor:
                 if block.locations and len(block.locations) < meta.replication:
                     self._sim.process(self._re_replicate(block))
 
+    def _live_targets(self, block: Block) -> List[str]:
+        """Eligible copy targets, in registration order (deterministic)."""
+        return [dn_id for dn_id in self.namenode.datanode_ids()
+                if dn_id not in self._dead
+                and dn_id not in self._decommissioning
+                and dn_id not in block.locations]
+
+    def _copy_block(self, block: Block, source_dn, target_dn):
+        """Generator: stream one block replica through the write pipeline.
+
+        On success the target joins ``block.locations`` and a commit
+        notification fires (so vRead mounts on the target refresh).
+        Returns True on success.
+        """
+        source_path = source_dn.block_path(block.name)
+        try:
+            payload = yield from source_dn.vm.read_file(source_path)
+        except FsError:
+            return False
+        connection = yield from self.network.connect(
+            source_dn.vm, target_dn.vm,
+            self.namenode.config.datanode_port)
+        yield from connection.send(
+            source_dn.vm, OpWriteBlock(block.name, []))
+        yield from connection.send(
+            source_dn.vm, WritePacket(payload, last=True),
+            size=payload.size)
+        ack = yield from connection.recv(source_dn.vm)
+        if not (isinstance(ack, Ack) and ack.ok):
+            return False
+        block.locations.append(target_dn.datanode_id)
+        self.re_replication_bytes += payload.size
+        self.namenode._notify("commit", block, target_dn.datanode_id)
+        return True
+
     def _re_replicate(self, block: Block):
         """Stream the block from a surviving replica to a fresh datanode."""
         if block.name in self._repairing:
             return
         self._repairing.add(block.name)
         try:
-            live = [dn_id for dn_id in self.namenode.datanode_ids()
-                    if dn_id not in self._dead
-                    and dn_id not in self._decommissioning
-                    and dn_id not in block.locations]
+            live = self._live_targets(block)
             if not live or not block.locations:
                 return
             source_dn = self.namenode.datanode(block.locations[0])
             target_dn = self.namenode.datanode(live[0])
-            source_path = source_dn.block_path(block.name)
-            try:
-                payload = yield from source_dn.vm.read_file(source_path)
-            except FsError:
-                return
-            connection = yield from self.network.connect(
-                source_dn.vm, target_dn.vm,
-                self.namenode.config.datanode_port)
-            yield from connection.send(
-                source_dn.vm, OpWriteBlock(block.name, []))
-            yield from connection.send(
-                source_dn.vm, WritePacket(payload, last=True),
-                size=payload.size)
-            ack = yield from connection.recv(source_dn.vm)
-            if isinstance(ack, Ack) and ack.ok:
-                block.locations.append(target_dn.datanode_id)
+            ok = yield from self._copy_block(block, source_dn, target_dn)
+            if ok:
                 self.re_replications += 1
-                # Commit notification: vRead mounts on the target refresh.
-                self.namenode._notify("commit", block,
-                                      target_dn.datanode_id)
         finally:
             self._repairing.discard(block.name)
+
+    # -------------------------------------------------------------- rebalance
+    def _replica_counts(self) -> Dict[str, int]:
+        """Committed replicas per eligible datanode (registration order)."""
+        counts = {dn_id: 0 for dn_id in self.namenode.datanode_ids()
+                  if dn_id not in self._dead
+                  and dn_id not in self._decommissioning}
+        for block in self.namenode._blocks.values():
+            if not block.committed:
+                continue
+            for dn_id in block.locations:
+                if dn_id in counts:
+                    counts[dn_id] += 1
+        return counts
+
+    def rebalance(self, max_moves: Optional[int] = None):
+        """Generator: even out replica counts across live datanodes.
+
+        A deterministic single pass of the HDFS balancer idea: while the
+        fullest live datanode holds at least two more replicas than the
+        emptiest, move one block between them (copy through the ordinary
+        write pipeline, then drop the source replica).  Ties break by
+        registration order; block choice is by ascending block name.
+        Returns the number of replicas moved.
+        """
+        moved = 0
+        while max_moves is None or moved < max_moves:
+            counts = self._replica_counts()
+            if len(counts) < 2:
+                break
+            donor = max(counts, key=lambda dn: (counts[dn],
+                                                -self._rank(dn)))
+            taker = min(counts, key=lambda dn: (counts[dn],
+                                                self._rank(dn)))
+            if counts[donor] - counts[taker] < 2:
+                break
+            candidates = sorted(
+                block.name for block in self.namenode._blocks.values()
+                if block.committed and donor in block.locations
+                and taker not in block.locations
+                and block.name not in self._repairing)
+            if not candidates:
+                break
+            block = self.namenode.block_by_name(candidates[0])
+            source_dn = self.namenode.datanode(donor)
+            target_dn = self.namenode.datanode(taker)
+            ok = yield from self._copy_block(block, source_dn, target_dn)
+            if not ok:
+                break
+            block.locations.remove(donor)
+            # Unlink the donor's copy directly: a namenode-level "delete"
+            # notification would drop the block's stream-layer mapping,
+            # but the block itself lives on (on the other replicas).
+            try:
+                source_dn.vm.guest_fs.unlink(
+                    source_dn.block_path(block.name))
+            except FsError:
+                pass
+            self.rebalance_moves += 1
+            moved += 1
+        return moved
+
+    def _rank(self, dn_id: str) -> int:
+        return self.namenode.datanode_ids().index(dn_id)
 
     def __repr__(self) -> str:
         return (f"<ReplicationMonitor dead={sorted(self._dead)} "

@@ -301,6 +301,19 @@ class CpuScheduler:
         self._threads.append(thread)
         return thread
 
+    def retire_thread(self, thread: Thread) -> None:
+        """Remove a thread this scheduler created (VM removed/migrated away).
+
+        The thread object stays usable for any burst already in flight —
+        retirement only drops it from the scheduler's roster so a migrated
+        or deleted VM does not leak one entry per lifetime thread.
+        """
+        try:
+            self._threads.remove(thread)
+        except ValueError:
+            raise SimulationError(
+                f"thread {thread.name!r} does not belong to this scheduler")
+
     # ----------------------------------------------------------- observation
     @property
     def runnable_waiting(self) -> int:

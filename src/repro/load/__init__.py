@@ -15,12 +15,17 @@ See ``docs/load.md`` for the walkthrough.  The package splits into:
 from repro.load.arrivals import (ArrivalProcess, BurstyArrivals,
                                  DiurnalArrivals, PoissonArrivals,
                                  make_arrivals)
+from repro.load.autoscale import (AutoscaleEvent, Autoscaler,
+                                  AutoscalerPolicy)
 from repro.load.generator import LoadGenerator, SyntheticService
 from repro.load.slo import SloReport, TenantSlo, TenantSloSummary
 from repro.load.tenants import TenantSpec, ZipfKeys, default_tenants
 
 __all__ = [
     "ArrivalProcess",
+    "AutoscaleEvent",
+    "Autoscaler",
+    "AutoscalerPolicy",
     "BurstyArrivals",
     "DiurnalArrivals",
     "LoadGenerator",

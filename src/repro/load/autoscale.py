@@ -1,0 +1,109 @@
+"""A deterministic reactive autoscaler for the client VM pool.
+
+The load generator's open loop keeps issuing requests whether or not the
+cluster keeps up, so the number of in-flight requests is a direct
+congestion signal.  The autoscaler samples it on a fixed interval and
+drives the cluster's membership controller: above the scale-up threshold
+a new client VM joins the pool (``autoscale1``, ``autoscale2``, ...,
+round-robin across hosts); below the scale-down threshold the most
+recently added *idle* VM leaves.  A cooldown between actions damps
+flapping.
+
+Everything is a pure function of the sampled signal and the policy — no
+randomness — so an autoscaled run is exactly as deterministic as a
+static one, and ``--jobs N`` sweeps stay byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["AutoscaleEvent", "Autoscaler", "AutoscalerPolicy"]
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Thresholds and pacing for :class:`Autoscaler`.
+
+    ``min_extra`` / ``max_extra`` bound the *extra* pool (beyond the
+    tenants' primary client VMs).  Thresholds compare against the total
+    number of in-flight requests across all tenants.
+    """
+
+    min_extra: int = 0
+    max_extra: int = 4
+    interval_seconds: float = 0.25
+    scale_up_outstanding: int = 8
+    scale_down_outstanding: int = 2
+    cooldown_seconds: float = 0.5
+
+    def __post_init__(self):
+        if self.min_extra < 0 or self.max_extra < self.min_extra:
+            raise ValueError(
+                f"need 0 <= min_extra <= max_extra: "
+                f"{self.min_extra}..{self.max_extra}")
+        if self.interval_seconds <= 0:
+            raise ValueError(
+                f"interval must be positive: {self.interval_seconds}")
+        if self.scale_down_outstanding >= self.scale_up_outstanding:
+            raise ValueError(
+                f"scale_down_outstanding ({self.scale_down_outstanding}) "
+                f"must be below scale_up_outstanding "
+                f"({self.scale_up_outstanding})")
+
+
+@dataclass(frozen=True)
+class AutoscaleEvent:
+    """One scaling action: when, which way, which VM, at what load."""
+
+    at: float
+    action: str  # "add" | "remove"
+    vm: str
+    outstanding: int
+
+
+class Autoscaler:
+    """Reactive scaling state machine, driven by the load generator.
+
+    Pass an instance to :meth:`LoadGenerator.run_cluster`; afterwards
+    :attr:`events`, :attr:`added` and :attr:`removed` describe what it
+    did, and ``cluster.membership.log`` has the cluster-side view.
+    """
+
+    def __init__(self, policy: Optional[AutoscalerPolicy] = None):
+        self.policy = policy or AutoscalerPolicy()
+        self.events: List[AutoscaleEvent] = []
+        self.added = 0
+        self.removed = 0
+        self.samples = 0
+        self._last_change: Optional[float] = None
+
+    def decide(self, now: float, outstanding: int, extra_pool: int) -> int:
+        """+1 (scale up), -1 (scale down) or 0 for this sample."""
+        self.samples += 1
+        policy = self.policy
+        if (self._last_change is not None
+                and now - self._last_change < policy.cooldown_seconds):
+            return 0
+        if (outstanding >= policy.scale_up_outstanding
+                and extra_pool < policy.max_extra):
+            return 1
+        if (outstanding <= policy.scale_down_outstanding
+                and extra_pool > policy.min_extra):
+            return -1
+        return 0
+
+    def note(self, now: float, action: str, vm: str,
+             outstanding: int) -> None:
+        """Record an executed action (starts the cooldown window)."""
+        self._last_change = now
+        self.events.append(AutoscaleEvent(now, action, vm, outstanding))
+        if action == "add":
+            self.added += 1
+        else:
+            self.removed += 1
+
+    def __repr__(self) -> str:
+        return (f"<Autoscaler added={self.added} removed={self.removed} "
+                f"samples={self.samples}>")

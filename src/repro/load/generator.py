@@ -126,6 +126,7 @@ class LoadGenerator:
     def run_cluster(self, cluster, duration: float, mode: str = "auto",
                     dataset_prefix: str = "/load",
                     arm_faults: bool = False,
+                    autoscaler=None,
                     title: str = "open-loop cluster run") -> SloReport:
         """Drive real reads through the cluster's client facade.
 
@@ -135,6 +136,13 @@ class LoadGenerator:
         arms the cluster's fault injector at measurement start, so a
         configured :class:`~repro.faults.plan.FaultPlan` plays out *under
         load* and its damage lands in the SLO report.
+
+        ``autoscaler`` (a :class:`~repro.load.autoscale.Autoscaler`)
+        turns the client pool elastic: the in-flight request count is
+        sampled on the policy interval and extra client VMs join or
+        leave through ``cluster.membership``; tenants then spread their
+        requests round-robin across their primary VM plus the extras.
+        Without an autoscaler the run takes exactly the static code path.
         """
         if duration <= 0:
             raise ValueError(f"duration must be positive: {duration}")
@@ -177,11 +185,36 @@ class LoadGenerator:
         slos = self._make_slos()
         outstanding: List = []
         epoch = sim.now
+        #: Elastic pool state: extra (vm_name, client) pairs the
+        #: autoscaler added, per-VM in-flight counts, and per-tenant
+        #: round-robin dispatch counters.  All plain bookkeeping — with
+        #: no autoscaler none of it is ever consulted.
+        extras: List = []
+        busy: Dict[str, int] = {}
+        dispatch = [0] * len(self.tenants)
+        done = [False]
+
+        def pick_client(index: int):
+            if not extras:
+                return clients[index], None
+            lane = dispatch[index] % (1 + len(extras))
+            dispatch[index] += 1
+            if lane == 0:
+                return clients[index], None
+            name, client = extras[lane - 1]
+            return client, name
 
         def request(index: int, slo: TenantSlo, key: int):
             arrival = sim.now
-            yield from clients[index].read_file(
-                paths[index][key], self.tenants[index].request_bytes)
+            client, vm_name = pick_client(index)
+            if vm_name is not None:
+                busy[vm_name] = busy.get(vm_name, 0) + 1
+            try:
+                yield from client.read_file(
+                    paths[index][key], self.tenants[index].request_bytes)
+            finally:
+                if vm_name is not None:
+                    busy[vm_name] -= 1
             slo.record(arrival - epoch, sim.now - epoch)
 
         def drive(index: int, tenant: TenantSpec):
@@ -199,13 +232,46 @@ class LoadGenerator:
                 outstanding.append(
                     sim.process(request(index, slo, keys.pick(rng_keys))))
 
+        def autoscale_loop():
+            interval = autoscaler.policy.interval_seconds
+            while not done[0]:
+                yield sim.timeout(interval)
+                if done[0]:
+                    return
+                outstanding[:] = [p for p in outstanding if p.is_alive]
+                inflight = len(outstanding)
+                action = autoscaler.decide(sim.now, inflight, len(extras))
+                if action > 0:
+                    host = cluster.hosts[autoscaler.added
+                                         % len(cluster.hosts)]
+                    vm = cluster.membership.add_client_vm(
+                        f"autoscale{autoscaler.added + 1}", host=host)
+                    extras.append(
+                        (vm.name, cluster.clients.get(mode=mode, vm=vm)))
+                    autoscaler.note(sim.now, "add", vm.name, inflight)
+                elif action < 0:
+                    # Retire the newest *idle* extra; busy VMs stay until
+                    # their in-flight reads drain.
+                    for i in range(len(extras) - 1, -1, -1):
+                        name, _ = extras[i]
+                        if busy.get(name, 0) == 0:
+                            extras.pop(i)
+                            busy.pop(name, None)
+                            cluster.membership.remove_client_vm(name)
+                            autoscaler.note(sim.now, "remove", name,
+                                            inflight)
+                            break
+
         if arm_faults:
             cluster.faults.arm()
         drivers = [sim.process(drive(i, tenant))
                    for i, tenant in enumerate(self.tenants)]
+        if autoscaler is not None:
+            sim.process(autoscale_loop())
 
         def whole_run():
             yield AllOf(sim, drivers)
+            done[0] = True
             if outstanding:
                 yield AllOf(sim, outstanding)
 

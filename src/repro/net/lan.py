@@ -136,6 +136,21 @@ class Lan:
         self._racks[host.name] = host.rack
         return nic
 
+    def detach(self, host) -> None:
+        """Unwire a host from the fabric (decommissioned hardware).
+
+        Drops the NIC and rack mapping and invalidates the rack's cached
+        aggregation uplink so a later rebuild sizes its bandwidth from the
+        hosts actually left in the rack.
+        """
+        if host.name not in self._nics:
+            raise SimulationError(f"{host.name!r} is not attached to the LAN")
+        del self._nics[host.name]
+        rack = self._racks.pop(host.name)
+        self._uplinks.pop(rack, None)
+        host.nic = None
+        host.rack = None
+
     def nic_of(self, host) -> HostNic:
         try:
             return self._nics[host.name]

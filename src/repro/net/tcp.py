@@ -219,6 +219,13 @@ class VmNetwork:
         self._listeners[key] = listener
         return listener
 
+    def unlisten(self, vm, port: int) -> None:
+        """Release a listen port (server VM shut down or removed)."""
+        key = (vm.name, port)
+        if key not in self._listeners:
+            raise SimulationError(f"{vm.name}:{port} is not listening")
+        del self._listeners[key]
+
     def connect(self, client_vm, server_vm, port: int,
                 inflight_messages: int = 8):
         """Generator: three-way handshake; returns a :class:`TcpConnection`."""

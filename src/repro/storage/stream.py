@@ -302,6 +302,15 @@ class StreamLayer:
         #: block name -> (stream name, extent index, offset, length).
         self._block_map: Dict[str, Tuple[str, int, int, int]] = {}
 
+    def set_nodes(self, nodes: Sequence[str]) -> None:
+        """Re-point placement at a new node list (membership changed).
+
+        Only streams created *after* the call place extents on the new
+        window; existing streams keep the placement they were born with,
+        so recorded extent locations never shift under churn.
+        """
+        self.placement = ExtentPlacement(nodes, self.placement.replication)
+
     # -------------------------------------------------------------- namespace
     def create(self, name: str, retain: Optional[bool] = None) -> Stream:
         if name in self._streams:

@@ -49,6 +49,12 @@ def migrate_vm(vm: VirtualMachine, target_host: PhysicalHost, lan,
     yield vm.sim.timeout(downtime_seconds)
 
     source_host.vms.remove(vm)
+    # Retire the source-side threads before re-homing: in-flight bursts on
+    # the old Thread objects drain normally, but the source scheduler must
+    # not keep roster entries for a VM it no longer runs (each migration
+    # would otherwise leak three threads per hop).
+    for thread in (vm.vcpu, vm.vhost, vm.qemu_io):
+        source_host.scheduler.retire_thread(thread)
     vm.host = target_host
     target_host.vms.append(vm)
     vm.vcpu = target_host.scheduler.thread(f"{vm.name}.vcpu")

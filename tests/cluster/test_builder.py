@@ -53,12 +53,21 @@ def test_clients_facade_modes():
 
 def test_clients_facade_per_vm():
     cluster = VirtualHadoopCluster(block_size=1 << 20)
-    vm2 = cluster.add_client_vm("client2")
+    vm2 = cluster.membership.add_client_vm("client2")
     client2 = cluster.clients.get(vm=vm2)
     assert client2.vm is vm2
     # Same VM, same vanilla client (cached, so blacklists persist).
     assert cluster.clients.get(vm=vm2) is client2
     assert cluster.clients.get() is cluster.clients.get(mode="vanilla")
+
+
+def test_direct_add_client_vm_is_a_deprecated_shim():
+    cluster = VirtualHadoopCluster(block_size=1 << 20)
+    with pytest.warns(DeprecationWarning, match="membership.add_client_vm"):
+        vm = cluster.add_client_vm("client2")
+    assert vm.name in cluster.membership.client_vm_names()
+    cluster.remove_client_vm("client2")
+    assert "client2" not in cluster.membership.client_vm_names()
 
 
 def test_deprecated_client_aliases_removed():

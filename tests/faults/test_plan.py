@@ -117,3 +117,63 @@ def test_random_plan_is_seed_deterministic():
     assert plan_a.describe() == plan_b.describe()
     assert plan_a.describe() != plan_c.describe()
     assert len(plan_a) == 6
+
+
+def test_crash_target_resolves_against_live_membership():
+    """A decommissioned datanode id is a hard error naming the live set,
+    not a silent no-op against stale build-time state."""
+    from repro.cluster import rack_cluster
+
+    cluster = VirtualHadoopCluster(block_size=256 << 10, replication=2,
+                                   topology=rack_cluster(1, 3))
+
+    def churn():
+        yield from cluster.membership.decommission_datanode(
+            "dn2", poll_interval=0.2)
+
+    cluster.run(cluster.sim.process(churn()))
+    cluster.membership.stop_monitor()
+
+    cluster.faults.plan.at(0.0, DatanodeCrash("dn2"))
+    cluster.faults.arm()
+    with pytest.raises(ValueError, match=r"no live datanode 'dn2' \('dn2' "
+                                         r"was decommissioned\).*dn1"):
+        cluster.settle()
+
+
+def test_decommission_fault_drains_through_membership():
+    from repro.cluster import rack_cluster
+    from repro.faults import DecommissionDatanode
+
+    plan = FaultPlan().at(0.0, DecommissionDatanode("dn3",
+                                                    poll_interval=0.2))
+    cluster = VirtualHadoopCluster(block_size=256 << 10, replication=2,
+                                   topology=rack_cluster(1, 3), faults=plan)
+    payload = PatternSource(600 << 10, seed=31)
+
+    def load():
+        yield from cluster.write_dataset("/f", payload)
+
+    cluster.run(cluster.sim.process(load()))
+    cluster.settle()
+    cluster.faults.arm()
+
+    def run_for():
+        # Bounded run: the drain's monitor heartbeats forever, so a
+        # plain settle() would never return until it is stopped.
+        yield cluster.sim.timeout(1.0)
+
+    cluster.run(cluster.sim.process(run_for()))
+    cluster.membership.stop_monitor()
+    cluster.settle()
+
+    assert cluster.membership.decommissioned == ["dn3"]
+    assert cluster.membership.live_datanode_ids() == ["dn1", "dn2"]
+    assert cluster.fault_counters.get("fault.decommission-done") == 1
+
+    def read():
+        source = yield from cluster.clients.get().read_file("/f", 64 << 10)
+        return source
+
+    assert cluster.run(
+        cluster.sim.process(read())).checksum() == payload.checksum()

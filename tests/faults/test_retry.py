@@ -152,3 +152,32 @@ def test_policy_validation():
         RetryPolicy(base_backoff=-1)
     with pytest.raises(ValueError):
         VReadClientPolicy(reprobe_interval=0)
+
+
+def test_caller_interrupted_mid_race_does_not_crash_the_drain():
+    """Regression: a process waiting inside ``call_with_deadline`` is itself
+    interrupted (e.g. a daemon crash during a guarded remote read).  The
+    guarded sub-process must be interrupted too, and its failure — which
+    fails the now-unwatched AnyOf race — must not surface at drain time."""
+    sim = Simulator()
+    observed = []
+
+    def slow():
+        yield sim.timeout(10.0)
+
+    def caller():
+        try:
+            yield from call_with_deadline(sim, slow(), 5.0)
+        except Interrupt as interrupt:
+            observed.append(interrupt.cause)
+
+    victim = sim.process(caller())
+
+    def crasher():
+        yield sim.timeout(0.1)
+        victim.interrupt("daemon crashed")
+
+    sim.process(crasher())
+    sim.run()  # must drain cleanly: no orphaned failed events
+    assert observed == ["daemon crashed"]
+    assert sim.now == pytest.approx(0.1)

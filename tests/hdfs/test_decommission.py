@@ -107,3 +107,73 @@ def test_reads_keep_working_during_drain(three_node):
     got = bed.run(bed.sim.process(read()))
     assert got.checksum() == payload.checksum()
     assert datanodes[0].blocks_served > 0
+
+
+def _drain_locations():
+    """Build a fresh 3-node bed, drain dn1, return final block locations."""
+    bed = Testbed(n_hosts=3, vms_per_host=1)
+    client_vm = VirtualMachine(bed.hosts[0], "client")
+    namenode = Namenode(HdfsConfig(block_size=128 * 1024), vm=client_vm)
+    for i in range(3):
+        Datanode(f"dn{i + 1}", bed.vms[i], namenode, bed.network)
+    client = DfsClient(client_vm, namenode, bed.network)
+    write(bed, client, "/f", PatternSource(300 * 1024, seed=23),
+          favored=["dn1"])
+    monitor = ReplicationMonitor(namenode, bed.network,
+                                 heartbeat_interval=0.4)
+    monitor.start(bed.sim)
+    monitor.decommission("dn1")
+    run_for(bed, 6.0)
+    monitor.stop()
+    monitor.finalize_decommission("dn1")
+    return {b.name: list(b.locations) for b in namenode.get_blocks("/f")}
+
+
+def test_drain_copy_targets_are_deterministic():
+    """Copy targets follow registration order: every drained replica lands
+    on dn2 (the first live non-holder), and a repeat run is identical."""
+    first = _drain_locations()
+    assert all(locations == ["dn2"] for locations in first.values())
+    assert _drain_locations() == first
+
+
+def test_decommission_completes_under_disk_latency_spike():
+    """A drain racing a slow source disk still converges — the copies just
+    take longer — and the controller's counters see the traffic."""
+    from repro.cluster import VirtualHadoopCluster, rack_cluster
+    from repro.faults import DiskLatencySpike, FaultPlan
+
+    plan = FaultPlan().at(0.0, DiskLatencySpike("host2", factor=20.0,
+                                                duration=2.0))
+    cluster = VirtualHadoopCluster(block_size=256 << 10, replication=1,
+                                   topology=rack_cluster(1, 3),
+                                   faults=plan)
+    payload = PatternSource(600 << 10, seed=24)
+
+    def load():
+        yield from cluster.write_dataset("/f", payload, favored=["dn2"])
+
+    cluster.run(cluster.sim.process(load()))
+    cluster.settle()
+    cluster.faults.arm()
+
+    def churn():
+        yield from cluster.membership.decommission_datanode(
+            "dn2", poll_interval=0.3)
+
+    cluster.run(cluster.sim.process(churn()))
+    monitor = cluster.membership.monitor
+    cluster.membership.stop_monitor()
+    cluster.settle()
+
+    assert monitor.re_replications > 0
+    assert monitor.re_replication_bytes >= payload.size
+    for block in cluster.namenode.get_blocks("/f"):
+        assert "dn2" not in block.locations and block.locations
+
+    def read():
+        source = yield from cluster.clients.get().read_file("/f", 64 << 10)
+        return source
+
+    assert cluster.run(
+        cluster.sim.process(read())).checksum() == payload.checksum()

@@ -1,0 +1,101 @@
+"""Tests for the deterministic client-pool autoscaler."""
+
+import pytest
+
+from repro.cluster import VirtualHadoopCluster, paper_fig10
+from repro.load import (Autoscaler, AutoscalerPolicy, LoadGenerator,
+                        TenantSpec, default_tenants)
+
+QUICK = dict(rate=40.0, deadline_seconds=0.02, request_bytes=128 << 10,
+             n_keys=3)
+
+
+# ----------------------------------------------------------------- the policy
+def test_policy_validation():
+    with pytest.raises(ValueError, match="min_extra"):
+        AutoscalerPolicy(min_extra=3, max_extra=1)
+    with pytest.raises(ValueError, match="interval"):
+        AutoscalerPolicy(interval_seconds=0.0)
+    with pytest.raises(ValueError, match="below scale_up"):
+        AutoscalerPolicy(scale_up_outstanding=4, scale_down_outstanding=4)
+
+
+def test_decide_thresholds_and_bounds():
+    scaler = Autoscaler(AutoscalerPolicy(max_extra=2,
+                                         scale_up_outstanding=8,
+                                         scale_down_outstanding=2,
+                                         cooldown_seconds=0.5))
+    assert scaler.decide(0.0, 10, extra_pool=0) == 1
+    assert scaler.decide(0.0, 10, extra_pool=2) == 0  # at max_extra
+    assert scaler.decide(0.0, 5, extra_pool=1) == 0   # between thresholds
+    assert scaler.decide(0.0, 1, extra_pool=1) == -1
+    assert scaler.decide(0.0, 1, extra_pool=0) == 0   # at min_extra
+
+
+def test_cooldown_damps_flapping():
+    scaler = Autoscaler(AutoscalerPolicy(cooldown_seconds=1.0))
+    assert scaler.decide(0.0, 20, extra_pool=0) == 1
+    scaler.note(0.0, "add", "autoscale1", 20)
+    assert scaler.decide(0.5, 20, extra_pool=1) == 0  # inside cooldown
+    assert scaler.decide(1.5, 20, extra_pool=1) == 1
+    assert scaler.added == 1 and scaler.events[0].action == "add"
+
+
+# ------------------------------------------------------------- under real load
+def _overloaded_run(seed=4):
+    """One saturating open-loop run with an eager autoscaler attached."""
+    cluster = VirtualHadoopCluster(block_size=1 << 20, vread=False,
+                                   topology=paper_fig10(clients=1), seed=0)
+    tenants = [TenantSpec(name="hot", rate=1000.0, deadline_seconds=0.02,
+                          request_bytes=1 << 20, n_keys=3)]
+    scaler = Autoscaler(AutoscalerPolicy(max_extra=2,
+                                         interval_seconds=0.05,
+                                         scale_up_outstanding=3,
+                                         scale_down_outstanding=1,
+                                         cooldown_seconds=0.1))
+    report = LoadGenerator(tenants, seed=seed).run_cluster(
+        cluster, duration=1.0, autoscaler=scaler)
+    return cluster, scaler, report
+
+
+def test_saturation_grows_the_client_pool():
+    cluster, scaler, report = _overloaded_run()
+    assert scaler.added > 0
+    assert cluster.membership.version >= scaler.added
+    added_events = [entry for entry in cluster.membership.log
+                    if entry[1] == "client-added"]
+    assert len(added_events) == scaler.added
+    assert report.tenant("hot").completions == report.tenant("hot").arrivals
+    # The extras carry autoscaler names, spread round-robin over hosts.
+    assert scaler.events[0].vm == "autoscale1"
+
+
+def test_autoscaled_run_is_deterministic():
+    def digest():
+        _, scaler, report = _overloaded_run(seed=4)
+        return report.digest(), scaler.added, scaler.removed, [
+            (e.at, e.action, e.vm) for e in scaler.events]
+
+    assert digest() == digest()
+
+
+def test_static_run_is_untouched_by_autoscale_plumbing():
+    """run_cluster without an autoscaler must match the pre-elastic digest
+    (same seeds, same dispatch): the elastic path is strictly additive."""
+    def digest(with_pool):
+        cluster = VirtualHadoopCluster(block_size=1 << 20, vread=False,
+                                       topology=paper_fig10(clients=2),
+                                       seed=0)
+        generator = LoadGenerator(default_tenants(2, **QUICK), seed=7)
+        kwargs = {}
+        if with_pool:
+            # An autoscaler that can never act: thresholds out of reach.
+            kwargs["autoscaler"] = Autoscaler(AutoscalerPolicy(
+                max_extra=0, scale_up_outstanding=10 ** 9,
+                scale_down_outstanding=10 ** 9 - 1))
+        report = generator.run_cluster(cluster, duration=1.0, **kwargs)
+        return report.digest(), cluster.membership.version
+
+    static, inert = digest(False), digest(True)
+    assert static[0] == inert[0]
+    assert static[1] == inert[1] == 0

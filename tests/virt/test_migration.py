@@ -101,3 +101,59 @@ def test_vread_keeps_working_after_datanode_migration(vread_bed):
     assert library.reads > 0
     # Data now crosses the wire (RDMA remote read).
     assert bed.lan.nic_of(bed.hosts[1]).bytes_sent >= payload.size
+
+
+def test_repeated_migrations_do_not_leak_source_threads():
+    """Each hop retires the three source-side VM threads; round-tripping a
+    VM many times must leave both schedulers' rosters exactly as built.
+    Runs under the sanitizer so any roster/accounting violation raises."""
+    from repro.hostmodel import PhysicalHost
+    from repro.hostmodel.costs import CostModel
+    from repro.net.lan import Lan
+    from repro.sim import Simulator
+    from repro.virt.vm import VirtualMachine
+
+    sim = Simulator(sanitize=True)
+    costs = CostModel()
+    lan = Lan(sim, costs)
+    hosts = [PhysicalHost(sim, f"host{i + 1}", cores=4,
+                          frequency_hz=2.0e9, costs=costs)
+             for i in range(2)]
+    for host in hosts:
+        lan.attach(host)
+    vm = VirtualMachine(hosts[0], "vm1")
+    rosters = [len(host.scheduler._threads) for host in hosts]
+
+    def proc():
+        for _ in range(3):
+            yield from migrate_vm(vm, hosts[1], lan, ram_bytes=1 << 20)
+            yield from migrate_vm(vm, hosts[0], lan, ram_bytes=1 << 20)
+
+    sim.run_until_complete(sim.process(proc()))
+    assert vm.host is hosts[0]
+    assert [len(host.scheduler._threads) for host in hosts] == rosters
+
+
+def test_cross_rack_migration_updates_fabric_distance():
+    """After a cross-rack move the LAN routes (and prices) traffic from the
+    VM's new position — membership.migrate relies on this for the RDMA
+    rack-domain recompute."""
+    from repro.cluster import VirtualHadoopCluster, rack_cluster
+    from repro.net.lan import CROSS_RACK, SAME_RACK
+
+    cluster = VirtualHadoopCluster(block_size=256 << 10, replication=2,
+                                   topology=rack_cluster(2, 2))
+    host1, host3 = cluster.hosts[0], cluster.hosts[2]
+    assert cluster.lan.distance(host1, host3) == CROSS_RACK
+
+    def churn():
+        yield from cluster.membership.migrate("datanode2", "host3",
+                                              ram_bytes=1 << 20)
+
+    cluster.run(cluster.sim.process(churn()))
+    vm = cluster.namenode.datanode("dn2").vm
+    assert vm.host is host3
+    # The fabric now sees dn2's VM at host3's position: cross-rack from
+    # host1, same-rack from host4.
+    assert cluster.lan.distance(host1, vm.host) == CROSS_RACK
+    assert cluster.lan.distance(cluster.hosts[3], vm.host) == SAME_RACK
