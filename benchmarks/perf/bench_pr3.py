@@ -107,6 +107,45 @@ def _run_scale(n_clients, file_bytes, legacy):
     return {"aggregate_mbps": round(aggregate, 1)}
 
 
+#: Wall-clock gates: {speedup key: floor}.  Comfortably below the values
+#: measured on the reference host, so jitter never trips them but a
+#: silently-disabled fast path does.  The jobs4 rows are deliberately
+#: ungated: process fan-out wins depend on idle cores, which CI rarely
+#: has — their determinism check is the contract.
+SPEEDUP_FLOORS = {
+    "block_read_fast_vs_legacy": 1.3,
+}
+
+
+def gate_speedups(out, failures, quick):
+    """Wall-clock gates: assert on full-size multi-core runs, otherwise
+    record the measurement as skipped with an explicit note in the JSON.
+    Determinism gates ran regardless."""
+    multi_core = (out["host"]["cpu_count"] or 1) > 1
+    if not multi_core:
+        skip_note = ("single-core host: wall-clock speedups are not "
+                     "meaningful here; determinism gates still ran")
+    elif quick:
+        skip_note = ("quick profile: datasets are startup-dominated, so "
+                     "wall-clock floors only assert on full-size runs; "
+                     "determinism gates still ran")
+    else:
+        skip_note = None
+    out["speedup_gates"] = {}
+    for key, floor in SPEEDUP_FLOORS.items():
+        measured = out["speedups"].get(key)
+        if skip_note is not None:
+            out["speedup_gates"][key] = {"floor": floor,
+                                         "measured": measured,
+                                         "skipped": skip_note}
+            continue
+        passed = measured is not None and measured >= floor
+        out["speedup_gates"][key] = {"floor": floor, "measured": measured,
+                                     "passed": passed}
+        if not passed:
+            failures.append(f"speedup gate {key}: {measured} < {floor}")
+
+
 # ------------------------------------------------------------------ phases
 def bench_sweep(name, profile, out, failures):
     serial = measure(_run_sweep, name=name, profile=profile, jobs=1)
@@ -175,12 +214,7 @@ def main(argv=None) -> int:
     bench_plane("scale64", _run_scale, out, "scale64_fast_vs_legacy",
                 n_clients=64, file_bytes=scale_bytes)
 
-    if out["host"]["cpu_count"] == 1:
-        out["notes"].append(
-            "host has a single CPU: --jobs 4 cannot beat --jobs 1 here "
-            "(process fan-out needs cores); the jobs4 rows demonstrate "
-            "byte-identical determinism, the speedup lands on multi-core "
-            "hosts")
+    gate_speedups(out, failures, args.quick)
     out["notes"].append(
         f"block_read = one cold {block_bytes >> 20}MB verified read; "
         f"scale64 = 64 client VMs x {scale_bytes >> 20}MB warm reads")
@@ -192,7 +226,7 @@ def main(argv=None) -> int:
 
     if failures:
         for failure in failures:
-            print(f"DETERMINISM FAILURE: {failure}", file=sys.stderr)
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
         return 1
     return 0
 

@@ -6,6 +6,7 @@ here, decorated with :func:`repro.analysis.core.register`.
 """
 
 from repro.analysis.core import create_rules
+from repro.analysis.rules.heap_use import NoDirectHeapqRule
 from repro.analysis.rules.randomness import NoGlobalRandomRule
 from repro.analysis.rules.resource_leak import ResourceLeakRule
 from repro.analysis.rules.topology_literals import NoTopologyLiteralsRule
@@ -13,6 +14,7 @@ from repro.analysis.rules.wallclock import NoWallclockRule
 from repro.analysis.rules.yields import YieldDisciplineRule
 
 __all__ = [
+    "NoDirectHeapqRule",
     "NoGlobalRandomRule",
     "NoTopologyLiteralsRule",
     "NoWallclockRule",

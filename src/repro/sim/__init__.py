@@ -31,7 +31,9 @@ from repro.sim.events import (
     SimulationError,
     Timeout,
 )
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import (Simulator, kernel_stats, legacy_heap,
+                              legacy_heap_enabled, reset_kernel_stats,
+                              use_legacy_heap)
 from repro.sim.process import Process
 from repro.sim.resources import (
     Container,
@@ -60,6 +62,11 @@ __all__ = [
     "SanitizerError",
     "SimulationError",
     "Simulator",
+    "kernel_stats",
+    "legacy_heap",
+    "legacy_heap_enabled",
+    "reset_kernel_stats",
+    "use_legacy_heap",
     "Store",
     "Timeout",
 ]

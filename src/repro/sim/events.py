@@ -114,7 +114,11 @@ class Event:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past ({delay})")
         sim._seq += 1
-        heappush(sim._heap, (sim._now + delay, sim._seq, self, sim._now))
+        wheel = sim._wheel
+        if wheel is None:
+            heappush(sim._heap, (sim._now + delay, sim._seq, self, sim._now))
+        else:
+            wheel.schedule(sim._now + delay, sim._seq, self, sim._now)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -177,7 +181,11 @@ class Timeout(Event):
         if sanitizer is not None:
             sanitizer.note_trigger(self)
         sim._seq += 1
-        heappush(sim._heap, (sim._now + delay, sim._seq, self, sim._now))
+        wheel = sim._wheel
+        if wheel is None:
+            heappush(sim._heap, (sim._now + delay, sim._seq, self, sim._now))
+        else:
+            wheel.schedule(sim._now + delay, sim._seq, self, sim._now)
 
     def cancel(self) -> None:
         """Withdraw the timeout before it fires.
@@ -228,7 +236,11 @@ class AbsoluteTimeout(Timeout):
         if sanitizer is not None:
             sanitizer.note_trigger(self)
         sim._seq += 1
-        heappush(sim._heap, (when, sim._seq, self, sim._now))
+        wheel = sim._wheel
+        if wheel is None:
+            heappush(sim._heap, (when, sim._seq, self, sim._now))
+        else:
+            wheel.schedule(when, sim._seq, self, sim._now)
 
 
 class Condition(Event):

@@ -181,17 +181,60 @@ class PatternSource(ByteSource):
     The byte at absolute position ``i`` depends only on ``(seed, i)``, so any
     sub-range can be generated independently: block ``i`` of 32 bytes is
     SHA-256(seed, i).
+
+    Synthesis is pure sha256, which dominates the wall-clock of any
+    workload that streams the same payload more than once (a write pass
+    plus checksum-verified read passes).  Sources up to
+    ``_MATERIALIZE_CAP`` therefore materialize their content once on
+    first fast-plane access and serve every later range as a memcpy; the
+    buffer is shared across instances through a per-process cache keyed
+    by ``(seed, size)`` (two sweep points with the same payload spec
+    synthesize once).  Content is identical either way — the cache holds
+    exactly the bytes the streaming synthesis produces — and the legacy
+    plane (``REPRO_LEGACY_BUFFERS``) never materializes, so the PR 3
+    equivalence harness keeps proving byte-identity.  Larger sources keep
+    the original promise: any range on demand, never the whole file.
     """
 
     _BLOCK = 32  # sha256 digest size
+
+    #: Sources at or under this size serve reads from materialized bytes.
+    _MATERIALIZE_CAP = 32 << 20
+
+    #: Per-process cache budget for shared materialized content.
+    _CACHE_BUDGET = 256 << 20
+
+    _cache: "dict" = {}          # (seed, size) -> bytes, insertion-ordered
+    _cache_bytes = 0
 
     def __init__(self, size: int, seed: int = 0):
         super().__init__(size)
         self.seed = seed
         self._prefix = f"pattern:{seed}:".encode()
+        self._data = None
 
     def _block(self, index: int) -> bytes:
         return hashlib.sha256(self._prefix + b"%d" % index).digest()
+
+    def _materialize(self) -> bytes:
+        """Full content as one shared bytes object (synthesized once)."""
+        data = self._data
+        if data is not None:
+            return data
+        cls = PatternSource
+        key = (self.seed, self.size)
+        data = cls._cache.get(key)
+        if data is None:
+            buf = bytearray(self.size)
+            self._synthesize(0, memoryview(buf))
+            data = bytes(buf)
+            cls._cache[key] = data
+            cls._cache_bytes += len(data)
+            while cls._cache_bytes > cls._CACHE_BUDGET and len(cls._cache) > 1:
+                oldest = next(iter(cls._cache))
+                cls._cache_bytes -= len(cls._cache.pop(oldest))
+        self._data = data
+        return data
 
     def read(self, offset: int, length: int) -> bytes:
         n = self._clamp(offset, length)
@@ -212,6 +255,14 @@ class PatternSource(ByteSource):
         n = self._clamp(offset, len(view))
         if n == 0:
             return 0
+        if not _legacy_buffers and self.size <= self._MATERIALIZE_CAP:
+            view[:n] = memoryview(self._materialize())[offset:offset + n]
+            return n
+        return self._synthesize(offset, view[:n])
+
+    def _synthesize(self, offset: int, view) -> int:
+        """Generate bytes at [offset, offset+len(view)) into ``view``."""
+        n = len(view)
         sha = hashlib.sha256
         prefix = self._prefix
         block_size = self._BLOCK
@@ -244,6 +295,10 @@ class PatternSource(ByteSource):
         if _legacy_buffers:
             return super().checksum(chunk)
         if self._checksum_hex is not None:
+            return self._checksum_hex
+        if self.size <= self._MATERIALIZE_CAP:
+            digest = hashlib.sha256(self._materialize())
+            self._checksum_hex = digest.hexdigest()
             return self._checksum_hex
         digest = hashlib.sha256()
         sha = hashlib.sha256

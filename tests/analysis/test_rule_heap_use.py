@@ -1,0 +1,76 @@
+"""no-direct-heapq: priority queues outside sim/ bypass the kernel."""
+
+import textwrap
+
+from repro.analysis.rules.heap_use import NoDirectHeapqRule
+from repro.analysis.runner import lint_source
+
+
+def lint(snippet, path="src/repro/hostmodel/widget.py", rule=None):
+    return lint_source(textwrap.dedent(snippet),
+                       [rule or NoDirectHeapqRule()], path=path)
+
+
+def test_plain_import_flagged():
+    violations = lint("""
+        import heapq
+
+        def order(items):
+            heapq.heapify(items)
+        """)
+    # The import is the chokepoint: one finding per import, not per call,
+    # so one pragma can annotate one audited use.
+    assert [v.rule for v in violations] == ["no-direct-heapq"]
+    assert violations[0].line == 2
+    assert "import of heapq" in violations[0].message
+
+
+def test_from_import_flagged_with_names():
+    violations = lint("""
+        from heapq import heappush, heappop
+        """)
+    assert len(violations) == 1
+    assert "heappush, heappop" in violations[0].message
+    assert "Simulator" in violations[0].message
+
+
+def test_aliased_import_flagged():
+    violations = lint("""
+        import heapq as hq
+
+        def push(heap, item):
+            hq.heappush(heap, item)
+        """)
+    assert len(violations) == 1
+    assert violations[0].line == 2
+
+
+def test_sim_package_exempt():
+    snippet = """
+        import heapq
+
+        def drain(heap):
+            return heapq.heappop(heap)
+        """
+    assert lint(snippet, path="src/repro/sim/kernel.py") == []
+    assert lint(snippet, path="sim/kernel.py") == []
+    # The same file outside sim/ is flagged.
+    assert lint(snippet, path="src/repro/net/widget.py")
+
+
+def test_pragma_escape():
+    violations = lint("""
+        from heapq import heappush  # simlint: disable=no-direct-heapq
+        """)
+    assert violations == []
+
+
+def test_unrelated_imports_pass():
+    violations = lint("""
+        import bisect
+        from collections import deque
+
+        def f(q):
+            return q.popleft()
+        """)
+    assert violations == []

@@ -1,6 +1,5 @@
 """Runtime sanitizer: deadlocks, leaks, double triggers, clock monotonicity."""
 
-from heapq import heappush
 
 import pytest
 
@@ -192,7 +191,7 @@ def test_non_monotonic_clock_detected():
     rogue = Event(sim)
     rogue._ok = True
     rogue._value = None
-    heappush(sim._heap, (1.0, sim._seq + 1, rogue, sim._now))  # in the past
+    sim._push_entry((1.0, sim._seq + 1, rogue, sim._now))  # in the past
     with pytest.raises(SanitizerError, match="non-monotonic"):
         sim.run()
 
